@@ -1,0 +1,74 @@
+"""Experiments T6/T7 (Tables 6/7): soundness of the axiom system A.
+
+The artifact: every axiom instance is verified strongly congruent by the
+*semantic* checker; measured per axiom family over the sample pool.
+"""
+
+import pytest
+
+from benchmarks.helpers import random_finite
+from repro.axioms.system import (
+    all_axiom_instances,
+    axiom_H,
+    axiom_R,
+    axiom_RP,
+    axiom_S,
+    axiom_SP,
+)
+from repro.core.parser import parse
+from repro.equiv.congruence import congruent
+
+POOL = [
+    parse("0"),
+    parse("c<c>"),
+    parse("tau.b<a>"),
+    parse("a(w).w<b>"),
+    parse("b<c>.c(v) + tau"),
+]
+
+
+@pytest.mark.parametrize("family", ["S", "R", "RP", "SP", "H"])
+def test_axiom_family_soundness(benchmark, family):
+    gen = {
+        "S": lambda: axiom_S(POOL[1], POOL[2], POOL[3]),
+        "R": lambda: axiom_R(POOL[1], POOL[2]),
+        "RP": lambda: axiom_RP(POOL[2]),
+        "SP": lambda: axiom_SP(POOL[1], POOL[2]),
+        "H": lambda: axiom_H(POOL[3]),
+    }[family]
+
+    def verify():
+        count = 0
+        for eq in gen():
+            assert congruent(eq.lhs, eq.rhs), str(eq)
+            count += 1
+        return count
+
+    assert benchmark(verify) >= 1
+
+
+def test_full_axiom_sweep(benchmark):
+    p, q, r = POOL[3], POOL[1], POOL[2]
+
+    def verify():
+        count = 0
+        for eq in all_axiom_instances(p, q, r):
+            assert congruent(eq.lhs, eq.rhs), str(eq)
+            count += 1
+        return count
+
+    assert benchmark(verify) >= 15
+
+
+@pytest.mark.parametrize("size", [4, 7])
+def test_axioms_on_random_terms(benchmark, size):
+    p = random_finite(seed=size * 13, size=size, arity=0)
+
+    def verify():
+        count = 0
+        for eq in axiom_S(p, POOL[1], POOL[2]):
+            assert congruent(eq.lhs, eq.rhs), str(eq)
+            count += 1
+        return count
+
+    assert benchmark(verify) == 4

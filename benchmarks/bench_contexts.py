@@ -1,0 +1,52 @@
+"""Experiments T4/T5 (Tables 4/5): context machinery rows.
+
+Artifacts: static contexts refute inequivalences that bisimilarity alone
+misses (the reason Definitions 4/6 close under them), measured over the
+observer-family sweep.
+"""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.equiv.contexts import observer_contexts, sensor_fill, static_contexts
+from repro.equiv.barbed import strong_barbed_bisimilar
+from repro.equiv.step import strong_step_bisimilar
+
+
+def test_context_refutes_step_bisimilar_pair(benchmark):
+    """Remark 2's pair is step-bisimilar but not step-*equivalent*."""
+    p1, q1 = parse("b! + tau.c!"), parse("b! + b!.c!")
+
+    def verify():
+        assert strong_step_bisimilar(p1, q1)
+        refuted = any(
+            not strong_step_bisimilar(ctx.fill(p1), ctx.fill(q1))
+            for ctx in observer_contexts(p1, q1))
+        return refuted
+
+    assert benchmark(verify)
+
+
+def test_sensor_makes_inputs_observable(benchmark):
+    p, q = parse("a?.c!"), parse("0")
+
+    def verify():
+        sender = parse("a!")
+        fp = sensor_fill(p, ("a",), probe="probe") | sender
+        fq = sensor_fill(q, ("a",), probe="probe") | sender
+        return not strong_barbed_bisimilar(fp, fq)
+
+    assert benchmark(verify)
+
+
+@pytest.mark.parametrize("n_components", [2, 4])
+def test_context_enumeration(benchmark, n_components):
+    comps = [parse("a!"), parse("a?.b!"), parse("c(x).x!"), parse("tau.d!")]
+    comps = comps[:n_components]
+
+    def enumerate_all():
+        return sum(1 for _ in static_contexts(comps, ("a", "b"),
+                                              max_components=2))
+
+    count = benchmark(enumerate_all)
+    assert count >= 4

@@ -1,0 +1,70 @@
+"""Experiments R1-R4: the paper's counterexamples as regression rows.
+
+Each benchmark re-verifies one Remark's exact counterexample — the shape
+EXPERIMENTS.md reports is the verdict pattern (what holds / what breaks).
+"""
+
+from repro.core.parser import parse
+from repro.equiv.barbed import strong_barbed_bisimilar
+from repro.equiv.congruence import congruent
+from repro.equiv.labelled import strong_bisimilar
+from repro.equiv.noisy import noisy_similar
+from repro.equiv.step import strong_step_bisimilar
+
+
+def test_remark1_restriction_vs_barbed(benchmark):
+    p0, q0 = parse("a<b>"), parse("a<b>.c<d>")
+    rp0, rq0 = parse("nu a a<b>"), parse("nu a a<b>.c<d>")
+
+    def verify():
+        assert strong_barbed_bisimilar(p0, q0)
+        assert not strong_barbed_bisimilar(rp0, rq0)
+        return True
+
+    assert benchmark(verify)
+
+
+def test_remark2_step_counterexamples(benchmark):
+    p1, q1, r1 = parse("b! + tau.c!"), parse("b! + b!.c!"), parse("b?.a!")
+    p2, q2 = parse("b<a>.a!"), parse("b<c>.a!")
+    rp2, rq2 = parse("nu a b<a>.a!"), parse("nu a b<c>.a!")
+
+    def verify():
+        assert strong_step_bisimilar(p1, q1)
+        assert not strong_step_bisimilar(p1 | r1, q1 | r1)       # not || -pres.
+        assert strong_step_bisimilar(p2, q2)
+        assert not strong_step_bisimilar(rp2, rq2)               # not nu-pres.
+        assert not strong_barbed_bisimilar(p1, q1)               # ~phi != ~b
+        assert strong_barbed_bisimilar(rp2, rq2)                 # ~b != ~phi
+        return True
+
+    assert benchmark(verify)
+
+
+def test_remark3_bisim_non_congruence(benchmark):
+    def verify():
+        assert strong_bisimilar(parse("a?"), parse("b?"))
+        assert not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
+        p = parse("x!.y?.c! + y?.(x! | c!)")
+        q = parse("x! | y?.c!")
+        assert strong_bisimilar(p, q)
+        assert not strong_bisimilar(parse("x!.x?.c! + x?.(x! | c!)"),
+                                    parse("x! | x?.c!"))
+        return True
+
+    assert benchmark(verify)
+
+
+def test_remark4_strict_chain(benchmark):
+    """~c strictly inside ~+ strictly inside ~."""
+    p = parse("x!.y?.c! + y?.(x! | c!)")
+    q = parse("x! | y?.c!")
+
+    def verify():
+        assert strong_bisimilar(parse("a?"), parse("b?"))
+        assert not noisy_similar(parse("a?"), parse("b?"))
+        assert noisy_similar(p, q)
+        assert not congruent(p, q)
+        return True
+
+    assert benchmark(verify)

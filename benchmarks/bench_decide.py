@@ -1,0 +1,66 @@
+"""Experiment TH7: the syntactic decision procedure vs the semantic checker.
+
+Artifacts: identical verdicts on an exhaustive tiny-process pool (the
+executable content of soundness + completeness), with the relative costs
+of the two decision paths — the 'crossover' EXPERIMENTS.md reports.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.helpers import random_finite
+from repro.axioms.decide import bisimilar_finite, congruent_finite
+from repro.core.syntax import NIL, Input, Output, Sum, Tau
+from repro.equiv.congruence import congruent
+from repro.equiv.labelled import strong_bisimilar
+
+
+def tiny_pool():
+    atoms = [NIL, Output("a", (), NIL), Input("a", (), NIL), Tau(NIL),
+             Output("b", (), NIL)]
+    pool = list(atoms)
+    for x, y in itertools.product(atoms[:4], repeat=2):
+        pool.append(Sum(x, y))
+    return pool
+
+
+@pytest.mark.parametrize("path", ["syntactic", "semantic"])
+def test_congruence_decision_cost(benchmark, path):
+    pool = tiny_pool()
+    pairs = list(itertools.combinations(pool, 2))[:40]
+    decide = congruent_finite if path == "syntactic" else congruent
+
+    def verify():
+        return tuple(decide(p, q) for p, q in pairs)
+
+    verdicts = benchmark(verify)
+    assert len(verdicts) == 40
+
+
+def test_agreement_sweep(benchmark):
+    pool = tiny_pool()[:12]
+    pairs = list(itertools.combinations(pool, 2))
+
+    def verify():
+        disagreements = 0
+        for p, q in pairs:
+            if congruent_finite(p, q) != congruent(p, q):
+                disagreements += 1
+        return disagreements
+
+    assert benchmark(verify) == 0
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_random_agreement(benchmark, size):
+    terms = [random_finite(seed=s, size=size, names=("a", "b"))
+             for s in range(6)]
+    pairs = list(itertools.combinations(terms, 2))
+
+    def verify():
+        for p, q in pairs:
+            assert bisimilar_finite(p, q) == strong_bisimilar(p, q)
+        return len(pairs)
+
+    assert benchmark(verify) == len(pairs)

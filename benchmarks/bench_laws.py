@@ -1,0 +1,95 @@
+"""Experiments L2/L4/L6 + L3/L8/L9: the algebraic laws (a)-(l) of Lemmas
+2, 4 and 6, and the preservation lemmas, as machine-checked rows.
+
+Each benchmark checks one family of laws with all three strong checkers on
+generated instances — the artifact EXPERIMENTS.md reports per lemma.
+"""
+
+import pytest
+
+from benchmarks.helpers import random_finite
+from repro.core.builder import nu, par
+from repro.core.parser import parse
+from repro.core.syntax import NIL, Match, Par, Restrict, Sum
+from repro.equiv.barbed import strong_barbed_bisimilar
+from repro.equiv.labelled import strong_bisimilar
+from repro.equiv.step import strong_step_bisimilar
+
+CHECKERS = {
+    "barbed": strong_barbed_bisimilar,     # Lemma 2
+    "step": strong_step_bisimilar,         # Lemma 4
+    "labelled": strong_bisimilar,          # Lemma 6
+}
+
+
+def law_instances(p, q, r):
+    """The twelve laws (a)-(l), instantiated."""
+    x = "zz"  # not free in the generated terms
+    return [
+        ("b", Par(p, NIL), p),
+        ("c", Par(p, q), Par(q, p)),
+        ("d", Par(Par(p, q), r), Par(p, Par(q, r))),
+        ("e", Sum(p, NIL), p),
+        ("f", Sum(p, q), Sum(q, p)),
+        ("g", Sum(Sum(p, q), r), Sum(p, Sum(q, r))),
+        ("h", Restrict(x, p), p),
+        ("i", Restrict("y1", Restrict(x, p)), Restrict(x, Restrict("y1", p))),
+        ("j", Par(Restrict(x, p), q), Restrict(x, Par(p, q))),
+        ("k", Sum(Restrict(x, p), q), Restrict(x, Sum(p, q))),
+        ("l", Match("a", "b", Restrict(x, p), q),
+              Restrict(x, Match("a", "b", p, q))),
+    ]
+
+
+@pytest.mark.parametrize("checker", sorted(CHECKERS))
+def test_twelve_laws(benchmark, checker):
+    check = CHECKERS[checker]
+    p = random_finite(seed=11, size=7)
+    q = random_finite(seed=23, size=6)
+    r = random_finite(seed=31, size=5)
+
+    def verify_all():
+        count = 0
+        for name, lhs, rhs in law_instances(p, q, r):
+            assert check(lhs, rhs), f"law ({name}) failed under {checker}"
+            count += 1
+        return count
+
+    assert benchmark(verify_all) == 11
+
+
+@pytest.mark.parametrize("checker", ["barbed", "labelled"])
+def test_parallel_preservation(benchmark, checker):
+    """Lemma 3 (barbed) / Lemma 9 (labelled): || preserves the relation."""
+    check = CHECKERS[checker]
+    pairs = [(parse("a<b>"), parse("a<b>.c<d>")) if checker == "barbed"
+             else (parse("b?"), parse("0")),
+             (parse("tau.a!"), parse("tau.a! + tau.a!"))]
+    observers = [parse("a(x).x!"), parse("c?.e!"), parse("tau.a<b>")]
+
+    def verify():
+        count = 0
+        for p, q in pairs:
+            assert check(p, q)
+            for r in observers:
+                assert check(Par(p, r), Par(q, r))
+                count += 1
+        return count
+
+    assert benchmark(verify) == len(pairs) * len(observers)
+
+
+def test_restriction_preservation_labelled(benchmark):
+    """Lemma 8: nu preserves ~ (labelled only — Remark 1 kills barbed)."""
+    pairs = [(parse("a?"), parse("0")),
+             (parse("x!.y?.c! + y?.(x! | c!)"), parse("x! | y?.c!"))]
+
+    def verify():
+        count = 0
+        for p, q in pairs:
+            for name in ("a", "x", "y"):
+                assert strong_bisimilar(nu(name, p), nu(name, q))
+                count += 1
+        return count
+
+    assert benchmark(verify) == 6

@@ -1,0 +1,58 @@
+"""Benchmark rows for the equational prover (Theorem 6 as rewriting).
+
+Measures normalization throughput and certificate checking; the artifact
+is that every derivation validates, structurally and semantically.
+"""
+
+import pytest
+
+from benchmarks.helpers import deep_choice, random_finite
+from repro.axioms.proofs import normalize, prove_equal
+from repro.core.parser import parse
+from repro.equiv.labelled import strong_bisimilar
+
+
+@pytest.mark.parametrize("size", [10, 30, 60])
+def test_normalization_throughput(benchmark, size):
+    p = random_finite(seed=size * 3, size=size)
+
+    def norm():
+        d = normalize(p)
+        assert d.check()
+        return d.length
+
+    steps = benchmark(norm)
+    assert steps >= 0
+
+
+@pytest.mark.parametrize("depth", [3, 5])
+def test_choice_tree_normalization(benchmark, depth):
+    p = deep_choice(depth)
+
+    def norm():
+        return normalize(p).length
+
+    assert benchmark(norm) >= 0
+
+
+def test_proof_roundtrip(benchmark):
+    lhs = parse("nu z ((a! + b!) + (b! + a!))")
+    rhs = parse("b! + a! + 0")
+
+    def prove():
+        d = prove_equal(lhs, rhs)
+        assert d is not None and d.check()
+        return d.length
+
+    assert benchmark(prove) >= 2
+
+
+def test_semantic_certificate_check(benchmark):
+    d = normalize(parse("nu x (a! + a! + tau.(b! | 0))"))
+
+    def verify():
+        assert d.check(semantic=True)
+        assert strong_bisimilar(d.source, d.target)
+        return d.length
+
+    assert benchmark(verify) >= 1

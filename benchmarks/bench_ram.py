@@ -1,0 +1,36 @@
+"""Experiment S6a: the RAM encoding — machine-steps-per-instruction rows."""
+
+import pytest
+
+from repro.apps.ram import (
+    emitted_channels,
+    program_add,
+    program_emit_register,
+    run_encoded,
+    run_reference,
+)
+
+
+@pytest.mark.parametrize("value", [1, 3, 5])
+def test_drain_register(benchmark, value):
+    prog = program_emit_register("r", "tick")
+
+    def execute():
+        trace = run_encoded(prog, {"r": value}, max_steps=30_000)
+        assert trace.observed("halted")
+        return len(emitted_channels(trace, prog))
+
+    assert benchmark(execute) == value
+
+
+@pytest.mark.parametrize("x,y", [(1, 1), (2, 3)])
+def test_addition(benchmark, x, y):
+    prog = program_add("x", "y", "s")
+    _, ref = run_reference(prog, {"x": x, "y": y})
+
+    def execute():
+        trace = run_encoded(prog, {"x": x, "y": y}, max_steps=40_000)
+        assert trace.observed("halted")
+        return len(emitted_channels(trace, prog))
+
+    assert benchmark(execute) == len(ref) == x + y

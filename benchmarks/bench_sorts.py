@@ -1,0 +1,29 @@
+"""Benchmark rows for sort inference (the well-sortedness substrate)."""
+
+import pytest
+
+from repro.apps.cycle_detection import prefed_system
+from repro.apps.ram import encode, program_add
+from repro.core.sorts import infer_sorts
+
+
+@pytest.mark.parametrize("n_edges", [2, 4, 8])
+def test_infer_cycle_detector(benchmark, n_edges):
+    edges = [(f"v{i}", f"v{(i + 1) % n_edges}") for i in range(n_edges)]
+    system = prefed_system(edges)
+
+    def infer():
+        table = infer_sorts(system)
+        return table.arity_of("i")
+
+    assert benchmark(infer) == 1
+
+
+def test_infer_ram(benchmark):
+    system = encode(program_add("x", "y", "s"), {"x": 2, "y": 2})
+
+    def infer():
+        table = infer_sorts(system)
+        return table.arity_of("reg_x")
+
+    assert benchmark(infer) == 3

@@ -1,0 +1,38 @@
+"""Experiment T1 (Table 1): the grammar is fully representable.
+
+Measures parser/printer round-trips and canonicalization over growing
+terms; the checked artifact is ``parse(pretty(p)) == p``.
+"""
+
+import pytest
+
+from benchmarks.helpers import broadcast_star, random_finite
+from repro.core.canonical import canonical_state
+from repro.core.parser import parse
+from repro.core.pretty import pretty
+
+
+@pytest.mark.parametrize("size", [20, 80, 200])
+def test_roundtrip_throughput(benchmark, size):
+    p = random_finite(seed=size, size=size, arity=1)
+
+    def roundtrip():
+        text = pretty(p)
+        q = parse(text)
+        assert q == p
+        return len(text)
+
+    chars = benchmark(roundtrip)
+    assert chars > 0
+
+
+@pytest.mark.parametrize("n", [4, 16, 48])
+def test_canonicalization(benchmark, n):
+    p = broadcast_star(n)
+
+    def canon():
+        canonical_state.cache_clear()
+        return canonical_state(p)
+
+    result = benchmark(canon)
+    assert result.size() >= n

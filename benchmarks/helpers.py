@@ -1,0 +1,69 @@
+"""Shared workload generators for the benchmark suite.
+
+The paper has no measured tables (it is a theory paper); every benchmark
+regenerates the *machine-checked artifact* behind one table/lemma/example
+(see DESIGN.md's experiment index) and reports the cost of checking it, so
+EXPERIMENTS.md can record paper-claim vs measured-verdict rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builder import choice, inp, nu, out, par, tau
+from repro.core.syntax import NIL, Process
+
+
+def broadcast_star(n_receivers: int, chan: str = "a") -> Process:
+    """One sender, n receivers — the atomic-broadcast workload."""
+    receivers = [inp(chan, (f"x{i}",), out(f"r{i}", f"x{i}"))
+                 for i in range(n_receivers)]
+    return par(out(chan, "v"), *receivers)
+
+
+def token_ring(n: int) -> Process:
+    """n processes passing a private token around a ring of channels."""
+    token = nu("tok", out("c0", "tok"))
+    hops = [inp(f"c{i}", ("t",), out(f"c{(i + 1) % n}", "t"))
+            for i in range(n)]
+    return par(token, *hops)
+
+
+def deep_choice(depth: int, fanout: int = 2) -> Process:
+    """A tree of sums over prefixes — normal-form stress."""
+    def build(d: int, tag: int) -> Process:
+        if d == 0:
+            return out(f"leaf{tag % 3}")
+        branches = [tau(build(d - 1, tag * fanout + i))
+                    for i in range(fanout)]
+        return choice(*branches)
+    return build(depth, 1)
+
+
+def random_finite(seed: int, size: int, names=("a", "b", "c"),
+                  arity: int = 0) -> Process:
+    """A reproducible random finite process of roughly *size* prefixes."""
+    rng = random.Random(seed)
+
+    def build(budget: int) -> Process:
+        if budget <= 0:
+            return NIL
+        kind = rng.randrange(6)
+        chan = rng.choice(names)
+        args = tuple(rng.choice(names) for _ in range(arity))
+        if kind == 0:
+            return tau(build(budget - 1))
+        if kind == 1:
+            return out(chan, *args, cont=build(budget - 1))
+        if kind == 2:
+            params = tuple(f"z{i}" for i in range(arity))
+            return inp(chan, params, build(budget - 1))
+        if kind == 3:
+            left = budget // 2
+            return choice(build(left), build(budget - 1 - left))
+        if kind == 4:
+            left = budget // 2
+            return par(build(left), build(budget - 1 - left))
+        return nu(rng.choice(names), build(budget - 1))
+
+    return build(size)

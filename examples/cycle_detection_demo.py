@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Example 1 of the paper: distributed cycle detection, end to end.
+
+Every edge of a digraph becomes an autonomous process; private tokens are
+broadcast along edges; a token coming home means a cycle.  The demo runs
+the detector on a family of graphs and checks it against networkx.
+
+Run:  python examples/cycle_detection_demo.py
+"""
+
+import time
+
+from repro.apps.cycle_detection import (
+    detects_cycle,
+    has_cycle_reference,
+    prefed_system,
+    simulate,
+)
+from repro.core import pretty
+
+GRAPHS = {
+    "single edge": [("a", "b")],
+    "self loop": [("a", "a")],
+    "2-cycle": [("a", "b"), ("b", "a")],
+    "chain": [("a", "b"), ("b", "c"), ("c", "d")],
+    "triangle": [("a", "b"), ("b", "c"), ("c", "a")],
+    "lasso": [("a", "b"), ("b", "c"), ("c", "b")],
+    "diamond (acyclic)": [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    "diamond + back edge": [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+                            ("d", "a")],
+}
+
+
+def main() -> None:
+    print("The edge-manager process for edge (a, b):")
+    from repro.apps.cycle_detection import edge_manager
+    print(" ", pretty(edge_manager("o", "a", "b")))
+    print()
+
+    print(f"{'graph':24s} {'verdict':10s} {'reference':10s} {'time':>8s}")
+    for name, edges in GRAPHS.items():
+        t0 = time.time()
+        got = detects_cycle(edges)
+        ref = has_cycle_reference(edges)
+        mark = "ok" if got == ref else "MISMATCH!"
+        print(f"{name:24s} {'cycle' if got else 'clean':10s} "
+              f"{'cycle' if ref else 'clean':10s} {time.time()-t0:7.2f}s  {mark}")
+
+    print("\nA seeded run of the triangle system (first 12 events):")
+    trace = simulate(GRAPHS["triangle"], seed=1, max_steps=600, prefed=True)
+    for event in trace.events[:12]:
+        print("  ", event)
+    print(f"  ... cycle signalled: {trace.observed('o')} "
+          f"after {trace.steps} steps")
+
+
+if __name__ == "__main__":
+    main()

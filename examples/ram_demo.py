@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Section 6: a Random Access Machine running on broadcast semantics.
+
+Registers are linked stacks of one-shot cells chained by private names —
+each pop *receives* the next stack pointer (mobility at work).  The demo
+runs arithmetic programs on both the reference interpreter and the encoded
+machine and compares observable behaviour.
+
+Run:  python examples/ram_demo.py
+"""
+
+import time
+
+from repro.apps.ram import (
+    emitted_channels,
+    encode,
+    program_add,
+    program_emit_register,
+    run_encoded,
+    run_reference,
+)
+
+
+def main() -> None:
+    print("1) Draining a register (value 4) — 'print' via broadcasts")
+    prog = program_emit_register("r", "tick")
+    regs, emitted = run_reference(prog, {"r": 4})
+    print("   reference: emitted", len(emitted), "ticks, final", regs)
+    t0 = time.time()
+    trace = run_encoded(prog, {"r": 4}, max_steps=8_000)
+    print(f"   encoded:   emitted {len(emitted_channels(trace, prog))} ticks,"
+          f" halted={trace.observed('halted')},"
+          f" {trace.steps} process steps, {time.time()-t0:.2f}s")
+
+    print("\n2) Addition: x + y by destructive transfer, then drain")
+    prog = program_add("x", "y", "sum")
+    for x, y in [(2, 3), (4, 1), (0, 5)]:
+        _, ref = run_reference(prog, {"x": x, "y": y})
+        trace = run_encoded(prog, {"x": x, "y": y}, max_steps=20_000)
+        got = len(emitted_channels(trace, prog))
+        print(f"   {x} + {y}: reference {len(ref)}, encoded {got},"
+              f" halted={trace.observed('halted')}"
+              f"  {'ok' if got == len(ref) == x + y else 'MISMATCH!'}")
+
+    print("\n3) The machine as a process")
+    system = encode(program_emit_register("r", "tick"), {"r": 2})
+    print(f"   {system.size()} AST nodes;"
+          " labels are channels, the PC is a broadcast token,")
+    print("   registers are chains of cells linked by private names.")
+
+
+if __name__ == "__main__":
+    main()

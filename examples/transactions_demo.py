@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Example 2 of the paper: consistency of partitioned replicated databases.
+
+While the network is partitioned, transactions run independently; on
+reconnection the fully distributed detector decides serialisability by
+materialising the precedence graph as processes — transaction identifiers
+are channels, so a cycle literally broadcasts `error`.
+
+Run:  python examples/transactions_demo.py
+"""
+
+import time
+
+from repro.apps.transactions import (
+    Transaction,
+    detects_inconsistency,
+    is_consistent_reference,
+    precedence_edges,
+)
+
+T = Transaction
+
+SCENARIOS = {
+    "independent reads": [
+        T("t1", "r", "stock", "west"),
+        T("t2", "r", "stock", "east"),
+    ],
+    "split-brain double write": [
+        T("t1", "w", "stock", "west"),
+        T("t2", "w", "stock", "east"),
+    ],
+    "serial same-partition history": [
+        T("t1", "w", "stock", "west"),
+        T("t2", "r", "stock", "west"),
+        T("t2", "w", "price", "west"),
+    ],
+    "cross-partition read/write cycle": [
+        T("t1", "r", "stock", "west"),
+        T("t2", "w", "stock", "east"),
+        T("t2", "r", "price", "east"),
+        T("t1", "w", "price", "west"),
+    ],
+    "cross-partition but acyclic": [
+        T("t1", "r", "stock", "west"),
+        T("t2", "w", "stock", "east"),
+    ],
+}
+
+
+def main() -> None:
+    print(f"{'scenario':36s} {'process system':16s} {'reference':12s} {'time':>7s}")
+    for name, log in SCENARIOS.items():
+        t0 = time.time()
+        error = detects_inconsistency(log)
+        consistent = is_consistent_reference(log)
+        mark = "ok" if error == (not consistent) else "MISMATCH!"
+        print(f"{name:36s} {'INCONSISTENT' if error else 'consistent':16s} "
+              f"{'consistent' if consistent else 'INCONSISTENT':12s} "
+              f"{time.time()-t0:6.2f}s  {mark}")
+
+    print("\nPrecedence edges of the cyclic scenario:")
+    log = SCENARIOS["cross-partition read/write cycle"]
+    for src, dst in sorted(precedence_edges(log)):
+        print(f"  {src} -> {dst}")
+    print("(a 2-cycle: the partitioned histories cannot be serialised)")
+
+
+if __name__ == "__main__":
+    main()

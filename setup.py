@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — a full implementation of the bpi-calculus of Ene & Muntean (2001).
+
+A broadcast-based process calculus for reconfigurable communicating
+systems: broadcast is the only communication primitive, channels are
+first-class and mobile (pi-calculus-style name passing), and the theory —
+three coinciding behavioural equivalences, their induced congruence, and a
+complete axiomatisation — is implemented as executable, tested code.
+
+Packages
+--------
+``repro.core``     syntax, operational semantics, observables
+``repro.lts``      finite LTS construction and partition refinement
+``repro.equiv``    barbed / step / labelled bisimilarities, congruence
+``repro.axioms``   the axiom system A, normal forms, decision procedure
+``repro.calculi``  baseline calculi (CBS, pi) and encodings
+``repro.apps``     the paper's examples as runnable applications
+``repro.runtime``  a seeded simulator for closed broadcast systems
+"""
+
+import sys as _sys
+
+# Process terms are deep immutable trees (a long-running broadcast system
+# easily accumulates hundreds of parallel components); structural equality
+# and canonicalization recurse over them, so give CPython head-room.
+_sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
+
+from . import apps, axioms, calculi, core, equiv, lts, runtime
+
+__version__ = "1.0.0"
+
+__all__ = ["apps", "axioms", "calculi", "core", "equiv", "lts", "runtime",
+           "__version__"]

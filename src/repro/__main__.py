@@ -1,0 +1,161 @@
+"""Command-line interface:  python -m repro <command> ...
+
+Commands
+--------
+steps "<process>"
+    Print the autonomous transitions (outputs and taus) of a term.
+moves "<process>" [--fresh N]
+    Print the full transition set, inputs instantiated over fn + N fresh.
+run "<process>" [--seed S] [--max-steps N]
+    Execute a closed system under the seeded scheduler; print the trace.
+eq "<p>" "<q>" [--relation barbed|step|labelled|noisy|congruence] [--weak]
+    Decide a behavioural equivalence.
+barb "<process>" <channel> [--max-states N]
+    Bounded search: can the system reach a broadcast on the channel?
+canon "<process>"
+    Print the canonical state form.
+
+Process syntax: see `repro.core.parser` (e.g. "a<v> | a(x).x!").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.canonical import canonical_state
+from .core.freenames import free_names
+from .core.names import NameUniverse
+from .core.parser import parse
+from .core.pretty import pretty
+from .core.reduction import can_reach_barb
+from .core.semantics import step_transitions, transitions
+from .runtime.simulator import run as sim_run
+
+
+def _cmd_steps(args: argparse.Namespace) -> int:
+    p = parse(args.process)
+    moves = step_transitions(p)
+    if not moves:
+        print("(quiescent)")
+    for action, target in moves:
+        print(f"--{action}-->  {pretty(target)}")
+    return 0
+
+
+def _cmd_moves(args: argparse.Namespace) -> int:
+    p = parse(args.process)
+    universe = NameUniverse(free_names(p), args.fresh)
+    for action, target in transitions(p, universe):
+        print(f"--{action}-->  {pretty(target)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    p = parse(args.process)
+    trace = sim_run(p, seed=args.seed, max_steps=args.max_steps)
+    print(trace)
+    print("final:", pretty(trace.final))
+    return 0
+
+
+def _cmd_eq(args: argparse.Namespace) -> int:
+    from .equiv.barbed import barbed_bisimilar
+    from .equiv.congruence import congruent
+    from .equiv.labelled import labelled_bisimilar
+    from .equiv.noisy import noisy_similar
+    from .equiv.step import step_bisimilar
+
+    p, q = parse(args.p), parse(args.q)
+    deciders = {
+        "barbed": lambda: barbed_bisimilar(p, q, weak=args.weak),
+        "step": lambda: step_bisimilar(p, q, weak=args.weak),
+        "labelled": lambda: labelled_bisimilar(p, q, weak=args.weak),
+        "noisy": lambda: noisy_similar(p, q, weak=args.weak),
+        "congruence": lambda: congruent(p, q, weak=args.weak),
+    }
+    verdict = deciders[args.relation]()
+    kind = ("weak " if args.weak else "strong ") + args.relation
+    print(f"{kind}: {'EQUIVALENT' if verdict else 'DIFFERENT'}")
+    return 0 if verdict else 1
+
+
+def _cmd_barb(args: argparse.Namespace) -> int:
+    p = parse(args.process)
+    got = can_reach_barb(p, args.channel, max_states=args.max_states,
+                         collapse_duplicates=True)
+    print(f"{args.channel}: {'reachable' if got else 'not reachable'}"
+          f" (within {args.max_states} states)")
+    return 0 if got else 1
+
+
+def _cmd_canon(args: argparse.Namespace) -> int:
+    print(pretty(canonical_state(parse(args.process))))
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from .lts.graph import build_step_lts
+    from .lts.minimize import minimal_to_dot, minimize, to_dot
+
+    lts, root = build_step_lts(parse(args.process),
+                               max_states=args.max_states)
+    if args.minimize:
+        print(minimal_to_dot(minimize(lts, root)))
+    else:
+        print(to_dot(lts, root))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="bpi-calculus tools (Ene & Muntean 2001)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("steps", help="autonomous transitions")
+    s.add_argument("process")
+    s.set_defaults(func=_cmd_steps)
+
+    s = sub.add_parser("moves", help="all transitions incl. inputs")
+    s.add_argument("process")
+    s.add_argument("--fresh", type=int, default=1)
+    s.set_defaults(func=_cmd_moves)
+
+    s = sub.add_parser("run", help="seeded execution")
+    s.add_argument("process")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--max-steps", type=int, default=200)
+    s.set_defaults(func=_cmd_run)
+
+    s = sub.add_parser("eq", help="decide an equivalence")
+    s.add_argument("p")
+    s.add_argument("q")
+    s.add_argument("--relation", default="labelled",
+                   choices=["barbed", "step", "labelled", "noisy",
+                            "congruence"])
+    s.add_argument("--weak", action="store_true")
+    s.set_defaults(func=_cmd_eq)
+
+    s = sub.add_parser("barb", help="barb reachability")
+    s.add_argument("process")
+    s.add_argument("channel")
+    s.add_argument("--max-states", type=int, default=50_000)
+    s.set_defaults(func=_cmd_barb)
+
+    s = sub.add_parser("canon", help="canonical state form")
+    s.add_argument("process")
+    s.set_defaults(func=_cmd_canon)
+
+    s = sub.add_parser("graph", help="step-LTS as Graphviz DOT")
+    s.add_argument("process")
+    s.add_argument("--minimize", action="store_true")
+    s.add_argument("--max-states", type=int, default=2_000)
+    s.set_defaults(func=_cmd_graph)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

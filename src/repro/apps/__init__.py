@@ -1,0 +1,5 @@
+"""The paper's worked examples as runnable applications."""
+
+from . import cycle_detection, pubsub, pvm, radio, ram, transactions
+
+__all__ = ["cycle_detection", "pubsub", "pvm", "radio", "ram", "transactions"]

@@ -1,0 +1,217 @@
+"""Example 3 — semantics of PVM-like group communication primitives.
+
+The paper gives broadcast-calculus semantics to a little concurrent
+language with PVM-flavoured primitives::
+
+    I ::= send(a, m) | bcast(g, m) | x = receive() | g = newgroup()
+        | joingroup(g) | leavegroup(g) | x = spawn(Q)
+    P ::= I; P | STOP
+
+A task at address ``a`` owns a *mailbox*: a pool of cells fed by
+broadcasts on ``a`` (and on every group channel the task joined)::
+
+    {P}_a            = nu r nu k ( Pool<a, r, k> || [P]_{r, {}} )
+    Pool(a, r, k)    = k?.nil + a(x).( Pool<a,r,k> || Cell<r,x> )
+    Cell(r, x)       = r(c).( c<x> + c(y).Cell<r,x> )
+
+The Cell protocol is a lovely broadcast idiom: a ``receive()`` broadcasts
+a fresh return channel on ``r``; *every* cell hears it and races to answer;
+the first answer on the return channel is heard both by the receiver
+*and by all the losing cells*, which thereby revert to storing their value.
+
+Group membership is dynamic: ``joingroup(g)`` simply spawns another pool
+listening on the group channel ``g`` (feeding the same mailbox), and
+``leavegroup(g)`` kills it via its private kill channel.  Because group
+names are first-class and mobile, a task can join a group whose name it
+*received* — the paper highlights that neither CBS (no mobility) nor the
+pi-calculus (no broadcast) can express this directly.
+
+Messages, addresses and groups are all channel names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.builder import call, define, inp, nu, out, par
+from ..core.names import Name, NameSupply
+from ..core.syntax import NIL, Process
+
+# ---------------------------------------------------------------------------
+# The little language
+# ---------------------------------------------------------------------------
+
+
+class Instruction:
+    """Base class of PVM-like instructions."""
+
+
+@dataclass(frozen=True)
+class Send(Instruction):
+    """``send(dest, msg)`` — point-to-point (one pool listens on an address)."""
+
+    dest: Name
+    msg: Name
+
+
+@dataclass(frozen=True)
+class Bcast(Instruction):
+    """``bcast(group, msg)`` — delivered to every current member's pool."""
+
+    group: Name
+    msg: Name
+
+
+@dataclass(frozen=True)
+class Receive(Instruction):
+    """``var = receive()`` — take any one message from the mailbox."""
+
+    var: Name
+
+
+@dataclass(frozen=True)
+class NewGroup(Instruction):
+    """``var = newgroup()`` — create a fresh group and join it."""
+
+    var: Name
+
+
+@dataclass(frozen=True)
+class JoinGroup(Instruction):
+    """``joingroup(group)`` — start receiving the group's broadcasts."""
+
+    group: Name
+
+
+@dataclass(frozen=True)
+class LeaveGroup(Instruction):
+    """``leavegroup(group)`` — stop receiving (mailbox contents survive)."""
+
+    group: Name
+
+
+@dataclass(frozen=True)
+class Spawn(Instruction):
+    """``var = spawn(program)`` — start a child task at a fresh address,
+    binding *var* to it."""
+
+    var: Name
+    program: tuple[Instruction, ...]
+
+    def __init__(self, var: Name, program: Sequence[Instruction]):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "program", tuple(program))
+
+
+@dataclass(frozen=True)
+class Emit(Instruction):
+    """``emit(chan, msg)`` — a raw observable broadcast (our addition, for
+    making task progress visible to tests and traces)."""
+
+    chan: Name
+    msg: Name
+
+
+Program = Sequence[Instruction]
+
+
+# ---------------------------------------------------------------------------
+# The encoding
+# ---------------------------------------------------------------------------
+
+def _cell_term(r: Name, x: Name) -> Process:
+    cell = define(
+        "Cell", ("r", "x"),
+        lambda rr, xx: inp(rr, ("c",), out("c", xx) + inp(
+            "c", ("y",), call("Cell", rr, xx))))
+    return cell(r, x)
+
+
+_pool = define(
+    "Pool", ("a", "r", "k"),
+    lambda a, r, k: inp(k, (), NIL) + inp(a, ("x",), par(
+        call("Pool", a, r, k), _cell_term(r, "x"))))
+
+
+def pool(address: Name, mailbox: Name, kill: Name) -> Process:
+    """``Pool(a, r, k)`` — feed broadcasts on *address* into the mailbox."""
+    return _pool(address, mailbox, kill)
+
+
+def cell(mailbox: Name, value: Name) -> Process:
+    """``Cell(r, x)`` — one stored message."""
+    return _cell_term(mailbox, value)
+
+
+@dataclass
+class _Ctx:
+    """Encoding context: the mailbox channel and the kill-channel map M."""
+
+    mailbox: Name
+    kills: dict[Name, Name] = field(default_factory=dict)
+    supply: NameSupply = field(default_factory=lambda: NameSupply(prefix="pvmt"))
+
+
+def encode_task(program: Program, address: Name,
+                supply: NameSupply | None = None) -> Process:
+    """``{P}_a``: a task at *address* running *program*."""
+    supply = supply or NameSupply(prefix="pvmt")
+    r = supply.next()
+    k = supply.next()
+    ctx = _Ctx(mailbox=r, supply=supply)
+    body = _encode(list(program), ctx)
+    return nu((r, k), par(pool(address, r, k), body))
+
+
+def _encode(program: list[Instruction], ctx: _Ctx) -> Process:
+    if not program:
+        # STOP: kill every pool we started (the paper's [STOP])
+        proc: Process = NIL
+        for kill in reversed(list(ctx.kills.values())):
+            proc = out(kill, cont=proc)
+        return proc
+    instr, rest = program[0], program[1:]
+    if isinstance(instr, Send):
+        return out(instr.dest, instr.msg, cont=_encode(rest, ctx))
+    if isinstance(instr, Bcast):
+        return out(instr.group, instr.msg, cont=_encode(rest, ctx))
+    if isinstance(instr, Emit):
+        return out(instr.chan, instr.msg, cont=_encode(rest, ctx))
+    if isinstance(instr, Receive):
+        t = ctx.supply.next()
+        return nu(t, par(out(ctx.mailbox, t),
+                         inp(t, (instr.var,), _encode(rest, ctx))))
+    if isinstance(instr, JoinGroup):
+        k = ctx.supply.next()
+        inner = _Ctx(ctx.mailbox, dict(ctx.kills), ctx.supply)
+        inner.kills[instr.group] = k
+        return nu(k, par(pool(instr.group, ctx.mailbox, k),
+                         _encode(rest, inner)))
+    if isinstance(instr, NewGroup):
+        # nu g (join g; rest) — the fresh group name is bound for the rest
+        g = instr.var
+        k = ctx.supply.next()
+        inner = _Ctx(ctx.mailbox, dict(ctx.kills), ctx.supply)
+        inner.kills[g] = k
+        return nu((g, k), par(pool(g, ctx.mailbox, k), _encode(rest, inner)))
+    if isinstance(instr, LeaveGroup):
+        kill = ctx.kills.get(instr.group)
+        if kill is None:
+            raise ValueError(
+                f"leavegroup({instr.group}): task never joined that group")
+        inner = _Ctx(ctx.mailbox, {g: k for g, k in ctx.kills.items()
+                                   if g != instr.group}, ctx.supply)
+        return out(kill, cont=_encode(rest, inner))
+    if isinstance(instr, Spawn):
+        a = instr.var
+        child = encode_task(list(instr.program), a, ctx.supply)
+        return nu(a, par(child, _encode(rest, ctx)))
+    raise TypeError(f"unknown instruction {type(instr).__name__}")
+
+
+def machine(tasks: dict[Name, Program]) -> Process:
+    """A virtual machine: one task per (address, program) entry."""
+    supply = NameSupply(prefix="pvmt")
+    return par(*(encode_task(prog, addr, supply)
+                 for addr, prog in tasks.items()))

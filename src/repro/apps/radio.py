@@ -1,0 +1,127 @@
+"""Packet-radio-style reliable multicast over a lossy medium.
+
+The introduction names *Packet Radio Networks* among the systems the
+calculus targets.  This application models the canonical problem there:
+a sender multicasts frames over a medium that may silently drop them, and
+a retransmission protocol recovers reliability.
+
+Model:
+
+* the **medium** relays frames from the sender's antenna channel ``air``
+  to the receivers' channel ``wave`` — but for each frame it internally
+  chooses (tau-choice) to deliver or to drop: loss is an *internal* action
+  of the medium, exactly as in classical protocol models;
+* the **sender** retransmits each frame until it hears a fresh-named
+  acknowledgement (stop-and-wait, names as nonces: each transmission
+  carries a private ack channel — mobility again);
+* **receivers** deliver each frame to their output and acknowledge; a
+  genuine broadcast medium reaches *all* receivers in one delivery.
+
+Checkable properties (tests):
+
+* possible delivery despite arbitrary loss (the retransmission loop can
+  always win) — may-style liveness;
+* no corruption: only sent payloads are ever delivered — safety invariant;
+* the unreliable variant (no retransmission) genuinely can lose: there is
+  a quiescent state with no delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.builder import call, define, inp, nu, out, par, tau
+from ..core.names import Name
+from ..core.reduction import can_reach_barb
+from ..core.syntax import Process
+
+AIR = "air"      # sender -> medium
+WAVE = "wave"    # medium -> receivers
+
+
+def lossy_medium(air: Name = AIR, wave: Name = WAVE) -> Process:
+    """Relay each (payload, ack) frame from *air* to *wave* — or drop it.
+
+    The drop is a tau-choice after reception: the sender cannot observe
+    which happened (loss is invisible until a timeout/retry).
+    """
+    relay = define(
+        "Medium", ("i", "o"),
+        lambda i, o: inp(i, ("m", "k"), tau(out(o, "m", "k",
+                                               cont=call("Medium", i, o)))
+                         + tau(call("Medium", i, o))))
+    return relay(air, wave)
+
+
+def perfect_medium(air: Name = AIR, wave: Name = WAVE) -> Process:
+    """The lossless reference medium."""
+    relay = define(
+        "PMedium", ("i", "o"),
+        lambda i, o: inp(i, ("m", "k"),
+                         out(o, "m", "k", cont=call("PMedium", i, o))))
+    return relay(air, wave)
+
+
+def persistent_sender(payload: Name, air: Name = AIR,
+                      done: Name = "sent_ok") -> Process:
+    """Stop-and-wait: retransmit *payload* until an ack arrives.
+
+    Each transmission carries a fresh private ack channel (a nonce), so a
+    late ack for an abandoned transmission cannot be confused with the
+    current one.
+    """
+    send = define(
+        "Sender", ("m", "i", "d"),
+        lambda m, i, d: nu("k", out(i, m, "k",
+                                    cont=inp("k", (), out(d))
+                                    + tau(call("Sender", m, i, d)))),
+        constants=())
+    return send(payload, air, done)
+
+
+def oneshot_sender(payload: Name, air: Name = AIR,
+                   done: Name = "sent_ok") -> Process:
+    """Fire-and-forget (the unreliable baseline)."""
+    return nu("k", out(air, payload, "k", cont=out(done)))
+
+
+def receiver(deliver: Name, wave: Name = WAVE) -> Process:
+    """Deliver every frame and acknowledge it."""
+    recv = define(
+        "Receiver", ("o", "w"),
+        lambda o, w: inp(w, ("m", "k"),
+                         out(o, "m", cont=out("k", cont=call("Receiver",
+                                                             o, w)))))
+    return recv(deliver, wave)
+
+
+def reliable_network(payload: Name, deliveries: Sequence[Name],
+                     lossy: bool = True) -> Process:
+    """Sender + medium + one receiver per delivery channel."""
+    medium = lossy_medium() if lossy else perfect_medium()
+    return par(persistent_sender(payload), medium,
+               *(receiver(d) for d in deliveries))
+
+
+def unreliable_network(payload: Name, deliveries: Sequence[Name]) -> Process:
+    return par(oneshot_sender(payload), lossy_medium(),
+               *(receiver(d) for d in deliveries))
+
+
+def _delivery_probe(deliver: Name, payload: Name, signal: Name) -> Process:
+    """Persistent watcher: broadcasts *signal* when *payload* comes past."""
+    from ..core.builder import match_eq
+    watch = define(
+        "RWatch", ("d", "e", "s"),
+        lambda d, e, s: inp(d, ("m",), match_eq(
+            "m", e, out(s), call("RWatch", d, e, s))))
+    return watch(deliver, payload, signal)
+
+
+def can_deliver(system: Process, deliver: Name, payload: Name,
+                max_states: int = 60_000) -> bool:
+    """May the payload ever be delivered on *deliver*?"""
+    signal = f"{deliver}_rx"
+    probe = _delivery_probe(deliver, payload, signal)
+    return can_reach_barb(par(system, probe), signal,
+                          max_states=max_states, collapse_duplicates=True)

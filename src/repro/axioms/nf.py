@@ -1,0 +1,283 @@
+"""Head normal forms (Definition 17) under a fixed complete condition.
+
+The completeness proof of Section 5 works with processes rewritten to
+``sum_i phi_i alpha_i . p_i`` where each ``phi_i`` is *complete on V*.  A
+complete condition is a partition of V, and under a fixed partition every
+match is decided, every restriction can be pushed inward (Table 7) and
+every parallel composition expanded (Table 8).  So instead of materialising
+the exponentially many guarded summands, :func:`head_summands` computes the
+summands *enabled under one partition* — the decision procedure
+(:mod:`repro.axioms.decide`) supplies the partitions.
+
+Head prefixes are richer than core prefixes: pushing ``nu`` through an
+output produces *bound-output* prefixes ``nu b~ a<z~>`` (the Section 5.2
+normal forms).
+
+Only the finite fragment (no recursion) is supported, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.freenames import free_names
+from ..core.names import Name, fresh_name
+from ..core.substitution import apply_subst
+from ..core.syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+from .conditions import Partition
+
+
+class NFPrefix:
+    """Base class of head prefixes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NFTau(NFPrefix):
+    """Head prefix ``tau``."""
+
+    def __str__(self) -> str:
+        return "tau"
+
+
+@dataclass(frozen=True)
+class NFInput(NFPrefix):
+    """Head prefix ``a(x~)`` (params bind in the continuation)."""
+
+    chan: Name
+    params: tuple[Name, ...]
+
+    def __str__(self) -> str:
+        return f"{self.chan}({', '.join(self.params)})"
+
+
+@dataclass(frozen=True)
+class NFOutput(NFPrefix):
+    """Head prefix ``nu b~ a<z~>`` — a possibly-bound output."""
+
+    chan: Name
+    args: tuple[Name, ...]
+    binders: tuple[Name, ...] = ()
+
+    def __str__(self) -> str:
+        body = f"{self.chan}<{', '.join(self.args)}>"
+        return f"nu {' '.join(self.binders)} {body}" if self.binders else body
+
+
+#: A head summand: (prefix, continuation).  The guarding complete condition
+#: is implicit — it is the partition passed to :func:`head_summands`.
+Summand = tuple[NFPrefix, Process]
+
+
+class NotFinite(ValueError):
+    """Raised when a recursive process reaches the axiomatic layer."""
+
+
+def head_summands(p: Process, part: Partition) -> list[Summand]:
+    """The head summands of *p* enabled under the complete condition *part*.
+
+    ``part`` must cover ``fn(p)``.  The returned summands characterise
+    ``p sigma``'s first-step behaviour for any substitution agreeing with
+    *part* — this is the (lazy) head normal form of Lemma 16 extended with
+    Table 7 (restriction) and Table 8 (expansion).
+    """
+    if not free_names(p) <= part.support:
+        raise ValueError(
+            f"partition support {sorted(part.support)} does not cover "
+            f"fn(p) = {sorted(free_names(p))}")
+    return _summands(p, part)
+
+
+def _summands(p: Process, part: Partition) -> list[Summand]:
+    if isinstance(p, Nil):
+        return []
+    if isinstance(p, Tau):
+        return [(NFTau(), p.cont)]
+    if isinstance(p, Input):
+        return [(NFInput(p.chan, p.params), p.cont)]
+    if isinstance(p, Output):
+        return [(NFOutput(p.chan, p.args, ()), p.cont)]
+    if isinstance(p, Sum):
+        return _summands(p.left, part) + _summands(p.right, part)
+    if isinstance(p, Match):
+        branch = p.then if part.equates(p.left, p.right) else p.orelse
+        return _summands(branch, part)
+    if isinstance(p, Restrict):
+        return _restrict_summands(p, part)
+    if isinstance(p, Par):
+        return _expansion(p, part)
+    if isinstance(p, (Rec, Ident)):
+        raise NotFinite(
+            "the axiomatisation covers finite processes only (Section 5)")
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def _restrict_summands(p: Restrict, part: Partition) -> list[Summand]:
+    """Push ``nu x`` through the head summands of the body (Table 7).
+
+    The private name joins the partition as a fresh singleton (RM1: a
+    private name equals nothing observable).
+    """
+    x, body = p.name, p.body
+    # Rename the bound name apart from the partition's support so the
+    # extended partition is well-formed.
+    if x in part.support:
+        nx = fresh_name(part.support | free_names(body), hint=x)
+        body = apply_subst(body, {x: nx})
+        x = nx
+    inner_part = part.extend_discrete(frozenset((x,)))
+    out: list[Summand] = []
+    for prefix, cont in _summands(body, inner_part):
+        if isinstance(prefix, NFTau):
+            out.append((prefix, Restrict(x, cont)))  # (RP1)
+        elif isinstance(prefix, NFInput):
+            if part_equates_private(inner_part, prefix.chan, x):
+                continue  # (RP3): input on the private channel never fires
+            # the params are binders; if x collides, alpha-rename them
+            if x in prefix.params:
+                avoid = free_names(cont) | {x} | set(prefix.params)
+                renaming = {q: fresh_name(avoid | set(prefix.params), hint=q)
+                            for q in prefix.params if q == x}
+                prefix = NFInput(prefix.chan, tuple(
+                    renaming.get(q, q) for q in prefix.params))
+                cont = apply_subst(cont, renaming)
+            out.append((prefix, Restrict(x, cont)))
+        else:
+            assert isinstance(prefix, NFOutput)
+            if part_equates_private(inner_part, prefix.chan, x):
+                # (RP2): a broadcast on the private channel is internal;
+                # re-establish the scope of anything it would have extruded.
+                q = cont
+                for b in reversed(prefix.binders):
+                    q = Restrict(b, q)
+                out.append((NFTau(), Restrict(x, q)))
+            elif x in prefix.binders:
+                # shadowed by an inner extrusion of the same spelling —
+                # impossible after the renaming above
+                raise AssertionError("binder collision after renaming")
+            elif x in prefix.args:
+                # (rule 5 as an axiom): extrusion — x joins the binders
+                out.append((NFOutput(prefix.chan, prefix.args,
+                                     prefix.binders + (x,)), cont))
+            else:
+                out.append((prefix, Restrict(x, cont)))
+    return out
+
+
+def part_equates_private(part: Partition, chan: Name, private: Name) -> bool:
+    """Is *chan* the private name under the partition?
+
+    The private name sits in a singleton block, so this is plain equality —
+    kept as a helper for readability at call sites.
+    """
+    return chan == private
+
+
+def _expansion(p: Par, part: Partition) -> list[Summand]:
+    """The expansion law (Table 8) under a fixed complete condition.
+
+    One broadcast summand per (sender summand, receiver summand or
+    discard); joint-input summands for simultaneous reception; interleaved
+    tau summands.  Channel identity is judged through the partition's
+    representatives (the complete condition decides all name equalities).
+    """
+    left, right = p.left, p.right
+    rep = part.representative
+    ls = _summands(left, part)
+    rs = _summands(right, part)
+    l_inputs = {(rep(pre.chan), len(pre.params))
+                for pre, _ in ls if isinstance(pre, NFInput)}
+    r_inputs = {(rep(pre.chan), len(pre.params))
+                for pre, _ in rs if isinstance(pre, NFInput)}
+    l_in_chans = {c for c, _ in l_inputs}
+    r_in_chans = {c for c, _ in r_inputs}
+    out: list[Summand] = []
+
+    def compose(mine: list[Summand], their: list[Summand],
+                their_proc: Process, their_in_chans: set[Name],
+                build) -> None:
+        for prefix, cont in mine:
+            if isinstance(prefix, NFTau):
+                out.append((prefix, build(cont, their_proc)))
+                continue
+            if isinstance(prefix, NFInput):
+                c = rep(prefix.chan)
+                # The params will bind over the whole composed continuation
+                # (which mentions the partner), so they must not capture the
+                # partner's free names — nor clash with the partition.
+                clash = (set(prefix.params)
+                         & (free_names(their_proc) | part.support))
+                if clash:
+                    avoid = set(free_names(their_proc) | free_names(cont)
+                                | part.support | set(prefix.params))
+                    renaming = {}
+                    for q in prefix.params:
+                        if q in clash:
+                            nq = fresh_name(avoid, hint=q)
+                            avoid.add(nq)
+                            renaming[q] = nq
+                    prefix = NFInput(prefix.chan, tuple(
+                        renaming.get(q, q) for q in prefix.params))
+                    cont = apply_subst(cont, renaming)
+                if c not in their_in_chans:
+                    # partner discards: lone reception (rules 12/14)
+                    out.append((prefix, build(cont, their_proc)))
+                else:
+                    # joint reception: pair with every matching input
+                    for pre2, cont2 in their:
+                        if not isinstance(pre2, NFInput):
+                            continue
+                        if rep(pre2.chan) != c or \
+                                len(pre2.params) != len(prefix.params):
+                            continue
+                        unified = apply_subst(
+                            cont2, dict(zip(pre2.params, prefix.params)))
+                        out.append((prefix, build(cont, unified)))
+                continue
+            assert isinstance(prefix, NFOutput)
+            c = rep(prefix.chan)
+            # extruded names must be fresh for the partner (rule 13)
+            if set(prefix.binders) & free_names(their_proc):
+                renaming = {}
+                avoid = set(free_names(their_proc) | free_names(cont)
+                            | set(prefix.args) | {prefix.chan} | part.support)
+                for b in prefix.binders:
+                    if b in free_names(their_proc):
+                        nb = fresh_name(avoid, hint=b)
+                        avoid.add(nb)
+                        renaming[b] = nb
+                prefix = NFOutput(prefix.chan,
+                                  tuple(renaming.get(a, a) for a in prefix.args),
+                                  tuple(renaming.get(b, b) for b in prefix.binders))
+                cont = apply_subst(cont, renaming)
+            if c not in their_in_chans:
+                # partner not listening: broadcast passes it by (rule 14)
+                out.append((prefix, build(cont, their_proc)))
+            else:
+                # partner must receive (rule 13)
+                for pre2, cont2 in their:
+                    if not isinstance(pre2, NFInput):
+                        continue
+                    if rep(pre2.chan) != c or \
+                            len(pre2.params) != len(prefix.args):
+                        continue
+                    received = apply_subst(
+                        cont2, dict(zip(pre2.params, prefix.args)))
+                    out.append((prefix, build(cont, received)))
+
+    compose(ls, rs, right, r_in_chans, lambda mine, their: Par(mine, their))
+    compose(rs, ls, left, l_in_chans, lambda mine, their: Par(their, mine))
+    return out

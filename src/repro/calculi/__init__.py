@@ -1,0 +1,52 @@
+"""Baseline calculi (CBS, pi) and inter-calculus encodings."""
+
+from .cbs import (
+    ETHER,
+    CbsNil,
+    CbsPar,
+    CbsProcess,
+    CbsRec,
+    CbsSum,
+    CbsVar,
+    Hear,
+    Speak,
+    alphabet,
+    cbs_transitions,
+    hears,
+    speaks,
+    to_bpi,
+)
+from .cbs import NIL as CBS_NIL
+from .cbs import discards as cbs_discards
+from .data import (
+    and_gate,
+    bool_at,
+    cell_at,
+    false_at,
+    if_then_else,
+    not_gate,
+    pair_at,
+    read_cell,
+    true_at,
+    unpair,
+    write_cell,
+)
+from .encodings import pi_to_bpi
+from .pi import (
+    pi_barbed_bisimilar,
+    pi_barbs,
+    pi_input_continuations,
+    pi_step_transitions,
+    pi_tau_successors,
+)
+
+__all__ = [
+    "ETHER", "CbsNil", "CbsPar", "CbsProcess", "CbsRec", "CbsSum", "CbsVar",
+    "Hear", "Speak", "alphabet", "cbs_transitions", "hears", "speaks",
+    "to_bpi", "CBS_NIL", "cbs_discards",
+    "and_gate", "bool_at", "cell_at", "false_at", "if_then_else",
+    "not_gate", "pair_at", "read_cell", "true_at", "unpair", "write_cell",
+    "pi_to_bpi",
+    "pi_barbed_bisimilar", "pi_barbs", "pi_input_continuations",
+    "pi_step_transitions", "pi_tau_successors",
+]

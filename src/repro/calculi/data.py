@@ -1,0 +1,113 @@
+"""Data encodings in the broadcast calculus.
+
+The classic pi-calculus encodings of data as name-passing protocols, in
+broadcast form — exercising the paper's claim that the calculus has full
+expressive power (Section 6, via the RAM; here via the structured-data
+route).  A datum is a *service* listening at a location channel; reading
+is broadcasting a freshly-created reply channel to it.
+
+Broadcast twist: a query reaches **every** service at the location in one
+step, so replicated copies answer coherently, and an eavesdropper (e.g. a
+monitor) can observe reads without perturbing them — the same effects the
+introduction advertises for process monitoring.
+
+Encodings::
+
+    TRUE(b)       = !b(t, f). t!            # answer on the first reply chan
+    FALSE(b)      = !b(t, f). f!
+    PAIR(p, x, y) = !p(r). r<x, y>
+    CELL(c, v)    = c(r).r<v> chained via internal state (mutable)
+
+with the matching readers ``if_then_else``, ``unpair``.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import call, define, inp, nu, out, replicate_input
+from ..core.names import Name, NameSupply
+from ..core.syntax import Process
+
+_supply = NameSupply(prefix="datat")
+
+
+def true_at(loc: Name) -> Process:
+    """``TRUE`` stored at location *loc* (persistent)."""
+    return replicate_input(loc, ("t", "f"), out("t"))
+
+
+def false_at(loc: Name) -> Process:
+    """``FALSE`` stored at location *loc* (persistent)."""
+    return replicate_input(loc, ("t", "f"), out("f"))
+
+
+def bool_at(loc: Name, value: bool) -> Process:
+    return true_at(loc) if value else false_at(loc)
+
+
+def if_then_else(loc: Name, then: Process, orelse: Process) -> Process:
+    """Query the boolean at *loc* and branch.
+
+    ``nu t nu f loc<t, f>.(t?.then + f?.orelse)`` — the reply channels are
+    fresh, so only this reader hears the answer.
+    """
+    t, f = _supply.take(2)
+    return nu((t, f), out(loc, t, f,
+                          cont=inp(t, (), then) + inp(f, (), orelse)))
+
+
+def pair_at(loc: Name, first: Name, second: Name) -> Process:
+    """``PAIR(first, second)`` stored at *loc* (persistent)."""
+    return replicate_input(loc, ("r",), out("r", first, second),
+                           constants=(first, second))
+
+
+def unpair(loc: Name, params: tuple[Name, Name], body: Process) -> Process:
+    """``let (x, y) = !loc in body``."""
+    r = _supply.next()
+    return nu(r, out(loc, r, cont=inp(r, params, body)))
+
+
+def cell_at(loc: Name, initial: Name) -> Process:
+    """A mutable cell: read with ``loc<get, r>``, write with
+    ``loc<set, v>`` (the ``get``/``set`` tags are global names)."""
+    definition = define(
+        "DataCell", ("c", "v"),
+        lambda c, v: inp(c, ("op", "arg"),
+                         _cell_dispatch(c, v)),
+        constants=("get", "set"))
+    return definition(loc, initial)
+
+
+def _cell_dispatch(c: Name, v: Name) -> Process:
+    from ..core.builder import match_eq
+    read = out("arg", v, cont=call("DataCell", c, v))
+    write = call("DataCell", c, "arg")
+    return match_eq("op", "get", read, write)
+
+
+def read_cell(loc: Name, param: Name, body: Process) -> Process:
+    """``let param = !loc in body``."""
+    r = _supply.next()
+    return nu(r, out(loc, "get", r, cont=inp(r, (param,), body)))
+
+
+def write_cell(loc: Name, value: Name, cont: Process) -> Process:
+    """``loc := value; cont`` (no acknowledgement: broadcast is enough for
+    a single-writer discipline; racing writers interleave)."""
+    return out(loc, "set", value, cont=cont)
+
+
+def not_gate(in_loc: Name, out_loc: Name) -> Process:
+    """Read the boolean at *in_loc*, store its negation at *out_loc*."""
+    return if_then_else(in_loc,
+                        false_at(out_loc),
+                        true_at(out_loc))
+
+
+def and_gate(a_loc: Name, b_loc: Name, out_loc: Name) -> Process:
+    """Store ``a && b`` at *out_loc* (short-circuit reading)."""
+    return if_then_else(a_loc,
+                        if_then_else(b_loc,
+                                     true_at(out_loc),
+                                     false_at(out_loc)),
+                        false_at(out_loc))

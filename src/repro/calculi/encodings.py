@@ -1,0 +1,139 @@
+"""Encodings between calculi (Section 6).
+
+The paper states two expressiveness results (proved in the authors' FCT'99
+companion paper):
+
+* **no uniform encoding of bpi into pi exists** — a broadcast reaches any
+  number of receivers in one atomic step, which point-to-point handshakes
+  cannot simulate compositionally (see
+  :func:`broadcast_atomicity_witness` for the executable intuition);
+* **pi encodes uniformly into bpi**, adequately w.r.t. barbed
+  equivalence — :func:`pi_to_bpi` implements a session-based handshake
+  protocol over broadcast.
+
+The protocol for one pi handshake on channel ``c``::
+
+    [c<v>.P]   =  rec S. nu s nu g ( c<s, g>.( s(w).g<w, v>.[P]  + tau.S ) )
+    [c(x).Q]   =  rec R. c(s, g). nu me ( s<me>
+                                        | g(w, x).([w=me] [Q] , R)
+                                        + tau.R )
+
+The sender opens a *session*: it broadcasts a fresh claim channel ``s``
+and grant channel ``g``.  Every current listener receives them (broadcast
+cannot be refused) and races to claim by broadcasting a private token on
+``s``; the sender grants the first claimant by broadcasting the winner's
+token together with the value on ``g`` — every contender hears the grant,
+the winner proceeds, losers (and claimants whose claim fired too late)
+restart.  The ``tau`` escape hatches let a session that found no partner
+(or a receiver stuck in a dead session) retry — the encoding is
+*divergent*, as any uniform pi-into-broadcast encoding must be, but it
+preserves and reflects weak barbs (tested on handshake scenarios,
+competing receivers and late-receiver arrivals).
+
+All other constructors are homomorphic; ``tau``, ``nu``, ``+``, ``|``,
+match and recursion translate to themselves.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..core.builder import call, define, inp, match_eq, nu, out, par, tau
+from ..core.freenames import free_names
+from ..core.names import Name
+from ..core.syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+class _Fresh:
+    def __init__(self, avoid: frozenset[Name]):
+        self.avoid = set(avoid)
+        self.counter = count()
+
+    def __call__(self, hint: str) -> Name:
+        while True:
+            cand = f"{hint}{next(self.counter)}"
+            if cand not in self.avoid:
+                self.avoid.add(cand)
+                return cand
+
+
+def pi_to_bpi(p: Process) -> Process:
+    """Translate a pi-calculus term into the bpi-calculus.
+
+    The source uses the shared AST under pi semantics
+    (:mod:`repro.calculi.pi`); the result is a bpi term whose weak barbs
+    match the source's (adequacy is exercised in the tests — full abstraction
+    is beyond the paper's own claims).
+    """
+    from ..core.freenames import all_names
+    fresh = _Fresh(all_names(p))
+
+    def tr(q: Process) -> Process:
+        if isinstance(q, Nil):
+            return NIL
+        if isinstance(q, Tau):
+            return Tau(tr(q.cont))
+        if isinstance(q, Output):
+            return _encode_send(q.chan, q.args, tr(q.cont), fresh)
+        if isinstance(q, Input):
+            return _encode_receive(q.chan, q.params, tr(q.cont), fresh)
+        if isinstance(q, Restrict):
+            return Restrict(q.name, tr(q.body))
+        if isinstance(q, Match):
+            return Match(q.left, q.right, tr(q.then), tr(q.orelse))
+        if isinstance(q, Sum):
+            return Sum(tr(q.left), tr(q.right))
+        if isinstance(q, Par):
+            return Par(tr(q.left), tr(q.right))
+        if isinstance(q, Rec):
+            return Rec(q.ident, q.params, tr(q.body), q.args)
+        if isinstance(q, Ident):
+            return q
+        raise TypeError(f"unknown process node {type(q).__name__}")
+
+    return tr(p)
+
+
+def _encode_send(chan: Name, args: tuple[Name, ...], cont: Process,
+                 fresh: _Fresh) -> Process:
+    """``rec S. nu s nu g ( c<s,g>.( s(w).g<w, args>.cont + tau.S ) )``."""
+    ident = fresh("SND")
+    s, g, w = fresh("s"), fresh("g"), fresh("w")
+    params = tuple(sorted(free_names(cont) | {chan} | set(args)))
+
+    def body(*_names: Name) -> Process:
+        attempt = inp(s, (w,),
+                      Output(g, (w,) + args, cont)) + tau(call(ident, *params))
+        return nu((s, g), Output(chan, (s, g), attempt))
+
+    return define(ident, params, body)(*params)
+
+
+def _encode_receive(chan: Name, binders: tuple[Name, ...], cont: Process,
+                    fresh: _Fresh) -> Process:
+    """``rec R. c(s,g). nu me ( s<me> | g(w,x~).([w=me] cont , R) + tau.R )``."""
+    ident = fresh("RCV")
+    s, g, me, w = fresh("s"), fresh("g"), fresh("me"), fresh("w")
+    params = tuple(sorted((free_names(cont) - set(binders)) | {chan}))
+
+    def body(*_names: Name) -> Process:
+        retry = call(ident, *params)
+        grant = inp(g, (w,) + binders,
+                    match_eq(w, me, cont, retry)) + tau(retry)
+        session = nu(me, par(out(s, me), grant))
+        return inp(chan, (s, g), session)
+
+    return define(ident, params, body)(*params)

@@ -1,0 +1,75 @@
+"""Core of the bpi-calculus: syntax, semantics, observables.
+
+Re-exports the most frequently used pieces so that ``repro.core`` is a
+one-stop import for building and stepping processes.
+"""
+
+from .actions import TAU, Action, InputAction, OutputAction, TauAction
+from .builder import (
+    bang_like,
+    call,
+    choice,
+    define,
+    inp,
+    match_eq,
+    match_ne,
+    nu,
+    out,
+    par,
+    tau,
+)
+from .canonical import canonical_state
+from .discard import discards, listening_channels
+from .freenames import all_names, bound_names, check_guarded, free_names, is_closed
+from .names import Name, NameSupply, NameUniverse, fresh_name, fresh_names
+from .parser import ParseError, parse
+from .pretty import pretty
+from .reduction import (
+    StateSpaceExceeded,
+    barbs,
+    can_reach_barb,
+    has_barb,
+    has_weak_barb,
+    weak_barbs,
+    weak_step_barbs,
+)
+from .semantics import (
+    check_sorts,
+    input_capabilities,
+    input_continuations,
+    step_transitions,
+    transitions,
+)
+from .substitution import alpha_eq, apply_subst, canonical_alpha, unfold_rec
+from .syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+__all__ = [
+    "TAU", "Action", "InputAction", "OutputAction", "TauAction",
+    "bang_like", "call", "choice", "define", "inp", "match_eq", "match_ne",
+    "nu", "out", "par", "tau",
+    "canonical_state",
+    "discards", "listening_channels",
+    "all_names", "bound_names", "check_guarded", "free_names", "is_closed",
+    "Name", "NameSupply", "NameUniverse", "fresh_name", "fresh_names",
+    "ParseError", "parse", "pretty",
+    "StateSpaceExceeded", "barbs", "can_reach_barb", "has_barb",
+    "has_weak_barb", "weak_barbs", "weak_step_barbs",
+    "check_sorts", "input_capabilities", "input_continuations",
+    "step_transitions", "transitions",
+    "alpha_eq", "apply_subst", "canonical_alpha", "unfold_rec",
+    "NIL", "Ident", "Input", "Match", "Nil", "Output", "Par", "Process",
+    "Rec", "Restrict", "Sum", "Tau",
+]

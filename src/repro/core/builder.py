@@ -1,0 +1,182 @@
+"""A small Python-side DSL for constructing process terms.
+
+The parser covers the concrete syntax; this module helps when terms are
+built programmatically (encodings, generators, tests)::
+
+    from repro.core.builder import out, inp, tau, nu, par, choice, match, define
+
+    p = nu("v", par(out("b", "v"), inp("a", ("w",), match_eq("w", "v", out("o")))))
+
+``define`` builds well-formed recursive definitions, automatically checking
+that the parameter list covers the free names of the body (the paper's
+side condition on ``rec``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .freenames import free_idents, free_names
+from .syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+def out(chan: str, *args: str, cont: Process = NIL) -> Output:
+    """Broadcast output ``chan<args>.cont``."""
+    return Output(chan, tuple(args), cont)
+
+
+def inp(chan: str, params: Sequence[str] = (), cont: Process = NIL) -> Input:
+    """Input ``chan(params).cont``."""
+    if isinstance(params, str):
+        params = (params,)
+    return Input(chan, tuple(params), cont)
+
+
+def tau(cont: Process = NIL) -> Tau:
+    """Silent prefix ``tau.cont``."""
+    return Tau(cont)
+
+
+def nu(names: str | Sequence[str], body: Process) -> Process:
+    """Restriction ``nu n1 .. nu nk body``."""
+    if isinstance(names, str):
+        names = (names,)
+    result = body
+    for name in reversed(tuple(names)):
+        result = Restrict(name, result)
+    return result
+
+
+def par(*parts: Process) -> Process:
+    """Right-nested parallel composition; ``par()`` is nil."""
+    if not parts:
+        return NIL
+    result = parts[-1]
+    for p in reversed(parts[:-1]):
+        result = Par(p, result)
+    return result
+
+
+def choice(*parts: Process) -> Process:
+    """Right-nested sum; ``choice()`` is nil."""
+    if not parts:
+        return NIL
+    result = parts[-1]
+    for p in reversed(parts[:-1]):
+        result = Sum(p, result)
+    return result
+
+
+def match_eq(x: str, y: str, then: Process, orelse: Process = NIL) -> Match:
+    """``[x=y] then, orelse``."""
+    return Match(x, y, then, orelse)
+
+
+def match_ne(x: str, y: str, then: Process, orelse: Process = NIL) -> Match:
+    """``[x!=y] then, orelse`` — sugar for ``[x=y] orelse, then``."""
+    return Match(x, y, orelse, then)
+
+
+def call(ident: str, *args: str) -> Ident:
+    """Identifier occurrence ``X<args>`` (for use inside rec bodies)."""
+    return Ident(ident, tuple(args))
+
+
+def define(ident: str, params: Sequence[str],
+           body_fn: Callable[..., Process] | Process,
+           constants: Sequence[str] = (),
+           ) -> Callable[..., Rec]:
+    """Create a recursive definition and return its instantiation function.
+
+    ``body_fn`` receives the parameter names and may use ``call(ident, ...)``
+    for recursive occurrences::
+
+        counter = define("C", ("a",), lambda a: inp(a, (), cont=call("C", a)))
+        p = counter("tick")          # (rec C(a). a?.C<a>)<tick>
+
+    Checks the paper's side condition that the parameters cover the free
+    names of the body.  Names listed in *constants* are exempt: they act
+    as global channels/literals that no substitution will ever touch
+    (e.g. an ``error`` signal channel, or the ``r``/``w`` tag literals) —
+    unfolding remains correct because our substitution is capture-avoiding
+    in general, not only under the paper's closedness assumption.
+    """
+    params = tuple(params)
+    body = body_fn(*params) if callable(body_fn) else body_fn
+    loose = free_names(body) - set(params) - set(constants)
+    if loose:
+        raise ValueError(
+            f"rec {ident}: free names {sorted(loose)} not covered by "
+            f"parameters {params} (declare global channels via constants=)")
+    foreign = free_idents(body) - {ident}
+    if foreign:
+        raise ValueError(
+            f"rec {ident}: body mentions unbound identifiers {sorted(foreign)};"
+            " inline them or close the definition first")
+
+    def instantiate(*args: str) -> Rec:
+        if len(args) != len(params):
+            raise ValueError(
+                f"rec {ident} expects {len(params)} arguments, got {len(args)}")
+        return Rec(ident, params, body, tuple(args))
+
+    instantiate.__name__ = f"rec_{ident}"
+    instantiate.__doc__ = f"Instantiate (rec {ident}({', '.join(params)}). ...)."
+    return instantiate
+
+
+_REPLICATION_COUNTER = [0]
+
+
+def replicate_input(chan: str, params: Sequence[str], body: Process,
+                    constants: Sequence[str] = ()) -> Rec:
+    """Guarded replication ``!chan(params).body``.
+
+    The classic derived operator, encoded with guarded recursion::
+
+        rec R(free...). chan(params).(body | R<free...>)
+
+    Every reception spawns one copy of *body* and keeps serving — the
+    broadcast twist being that a *single* send can trigger many replicated
+    services listening on the same channel at once.
+    """
+    if isinstance(params, str):
+        params = (params,)
+    params = tuple(params)
+    _REPLICATION_COUNTER[0] += 1
+    ident = f"Repl{_REPLICATION_COUNTER[0]}"
+    frees = tuple(sorted((free_names(body) | {chan}) - set(params)
+                         - set(constants)))
+    definition = define(
+        ident, frees,
+        lambda *fs: inp(chan, params, par(body, call(ident, *frees))),
+        constants=constants)
+    return definition(*frees)
+
+
+def bang_like(ident: str, params: Sequence[str], make_step: Callable[..., Process],
+              ) -> Callable[..., Rec]:
+    """A replicated-service combinator: ``rec X(p~). step(p~, X<p~>)``.
+
+    ``make_step(*params, loop)`` must build one service round ending in the
+    provided ``loop`` occurrence; this is the common shape of the paper's
+    example servers (Detector, Item, ...).
+    """
+    params = tuple(params)
+
+    def body_fn(*ps: str) -> Process:
+        return make_step(*ps, call(ident, *ps))
+
+    return define(ident, params, body_fn)

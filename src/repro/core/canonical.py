@@ -1,0 +1,290 @@
+"""Structural canonical forms for state identity.
+
+State-space exploration must recognise when two syntactically different
+terms denote "the same" state, or recursive systems that are semantically
+finite-state explode syntactically (dead ``nil`` components, reassociated
+parallels, alpha-variants...).
+
+:func:`canonical_state` quotients a *closed* term by laws the paper itself
+proves sound for all three equivalences and their congruences:
+
+* Lemma 6 (b)-(d):   ``p || nil ~ p``, commutativity/associativity of ``||``
+* Lemma 6 (e)-(g) and axioms (S1)-(S4): the same for ``+`` (plus idempotence)
+* Lemma 6 (h)-(l) / Table 7: garbage-collection, reordering and scope
+  extrusion of restrictions
+* match resolution (rules (9)/(10) make both branches one-step-identical)
+* rule (1): alpha-conversion.
+
+Each rewrite produces a term whose transition set is identical to the
+original's modulo re-canonicalization of targets — the property tests in
+``tests/test_canonical.py`` check exactly that.
+
+The transformation only touches the *active* structure of the state (the
+part the next transition can see); continuations under prefixes are left
+untouched apart from the final global alpha-canonicalization.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .freenames import free_names
+from .names import Name, fresh_name
+from .substitution import apply_subst, canonical_alpha
+from .syntax import (
+    NIL,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+def _flatten(p: Process, cls: type) -> list[Process]:
+    """Flatten nested binary *cls* (Sum or Par) nodes into a list."""
+    if isinstance(p, cls):
+        return _flatten(p.left, cls) + _flatten(p.right, cls)
+    return [p]
+
+
+def _rebuild(parts: list[Process], cls: type, unit: Process) -> Process:
+    """Right-nest *parts* under *cls*; empty list gives *unit*."""
+    if not parts:
+        return unit
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = cls(part, out)
+    return out
+
+
+def _sort_key(p: Process) -> tuple:
+    """A deterministic ordering key for sibling components.
+
+    Sorting must be stable under alpha-variance, so the key is taken on
+    the alpha-canonical form.  The cached structural hash gives an O(1)
+    total order; a hash collision between structurally different siblings
+    would merely produce a run-dependent (still behaviour-preserving)
+    canonical orientation, so the cheap key is worth it — repr-based keys
+    dominated exploration profiles.
+    """
+    c = canonical_alpha(p)
+    return (c.__class__.__name__, hash(c))
+
+
+@lru_cache(maxsize=65536)
+def canonical_state(p: Process) -> Process:
+    """The canonical representative of *p*'s structural-congruence class."""
+    return canonical_alpha(_normalize(p, False))
+
+
+@lru_cache(maxsize=65536)
+def canonical_state_collapsed(p: Process) -> Process:
+    """Canonical form that additionally collapses *identical* parallel
+    components (``q || q`` becomes ``q``).
+
+    This is NOT a structural congruence: multiplicity can matter.  But
+    broadcast composition is *monotone* — adding a parallel component never
+    disables a transition (an extra listener is forced to receive, and
+    receives alongside, never instead) — so collapsing under-approximates
+    reachability: every barb reachable from the collapsed state is
+    reachable from the original.  Systems whose logic never counts
+    duplicate receptions (all of the paper's examples) lose nothing, and
+    gain finite state spaces: the cycle detector's re-broadcast tokens
+    would otherwise pile up duplicate one-shot emitters without bound.
+    """
+    return canonical_alpha(_normalize(p, True))
+
+
+def _normalize(p: Process, collapse: bool) -> Process:
+    if isinstance(p, (Nil, Tau, Input, Output, Rec)):
+        # Prefixes and folded recursions are atomic at the state level.
+        return p
+    if isinstance(p, Match):
+        # Closed states have concrete names: resolve the conditional.
+        return _normalize(p.then if p.left == p.right else p.orelse, collapse)
+    if isinstance(p, Sum):
+        parts = []
+        for q in _flatten(p, Sum):
+            nq = _normalize_summand(q, collapse)
+            if not isinstance(nq, Nil):  # (S1)
+                parts.append(nq)
+        # (S2)-(S4): dedup modulo alpha, sort, right-nest.
+        seen: set[Process] = set()
+        unique = []
+        for q in parts:
+            key = canonical_alpha(q)
+            if key not in seen:
+                seen.add(key)
+                unique.append(q)
+        unique.sort(key=_sort_key)
+        return _rebuild(unique, Sum, NIL)
+    if isinstance(p, (Par, Restrict)):
+        return _normalize_composition(p, collapse)
+    raise TypeError(f"unexpected node {type(p).__name__} in closed state")
+
+
+def _normalize_summand(q: Process, collapse: bool) -> Process:
+    """Normalize one summand of a choice.
+
+    Summands may themselves be restrictions, matches or nested structure
+    (the grammar is unrestricted); hoisting a restriction out of a summand
+    uses law (k) ``(nu x p) + q ~ nu x (p + q)`` only at the composition
+    layer, so here we simply normalize recursively.
+    """
+    return _normalize(q, collapse)
+
+
+def _normalize_composition(p: Process, collapse: bool) -> Process:
+    """Normalize a parallel composition with restrictions hoisted on top.
+
+    Produces ``nu x1 .. nu xk (q1 || ... || qn)`` with: unused restrictions
+    dropped (law h), components sorted (laws c, d), nil components dropped
+    (law b), binders renamed apart and ordered by first use.
+    """
+    binders: list[Name] = []
+    components: list[Process] = []
+    # Any free name of the whole composition may occur in a sibling not yet
+    # collected, so every hoisted binder must avoid all of them (plus the
+    # binders already hoisted) or hoisting (law j) would capture.
+    avoid_base = set(free_names(p))
+
+    def collect(q: Process) -> None:
+        if isinstance(q, Restrict):
+            name, body = q.name, q.body
+            if name in avoid_base or name in binders:
+                new = fresh_name(avoid_base | set(binders) | free_names(body),
+                                 hint=name)
+                body = apply_subst(body, {name: new})
+                name = new
+            binders.append(name)
+            collect(body)
+            return
+        if isinstance(q, Par):
+            collect(q.left)
+            collect(q.right)
+            return
+        if isinstance(q, Match):
+            collect(q.then if q.left == q.right else q.orelse)
+            return
+        nq = _normalize(q, collapse)
+        if isinstance(nq, Nil):
+            return
+        if isinstance(nq, (Par, Restrict)):
+            # Normalization exposed more structure (e.g. a match resolved
+            # to a composition); keep flattening.
+            collect(nq)
+            return
+        components.append(nq)
+
+    collect(p)
+    # Push every binder used by exactly ONE component back inside it (law
+    # j in reverse).  Self-contained components compare equal across
+    # states regardless of which top-level binder slot their private names
+    # would have occupied — essential for recognising duplicated "garbage"
+    # fragments (dead sessions, spent emitters) as identical.
+    usage: dict[Name, list[int]] = {}
+    comp_free = [free_names(c) for c in components]
+    for b in binders:
+        usage[b] = [i for i, fns in enumerate(comp_free) if b in fns]
+    pushed: set[Name] = set()
+    for i, comp in enumerate(components):
+        mine = [b for b in binders if usage[b] == [i]]
+        if not mine:
+            continue
+        order = {n: k for k, n in enumerate(_free_occurrence_order(comp))}
+        mine.sort(key=lambda b: order.get(b, len(order)))
+        for b in reversed(mine):
+            comp = Restrict(b, comp)
+        components[i] = comp
+        pushed.update(mine)
+    binders = [b for b in binders if b not in pushed]
+
+    # Sort primarily by a key blind to the hoisted binder names (so that
+    # alpha-variants order identically), tie-breaking on the named form for
+    # determinism.  Canonicalization is an *approximation* of structural
+    # congruence: imperfect identification only costs duplicate states in
+    # exploration, never soundness.
+    binder_set = frozenset(binders)
+
+    def blind_key(q: Process) -> tuple:
+        mapping = {b: "_hole" for b in binder_set & free_names(q)}
+        return _sort_key(apply_subst(q, mapping)) + _sort_key(q)
+
+    components.sort(key=blind_key)
+    if collapse:
+        # Collapse duplicates modulo alpha.  Shared hoisted binders are
+        # free names at the component level and stay rigid under
+        # canonical_alpha, so components referencing *different* shared
+        # binders never merge; self-contained garbage fragments (whose
+        # privates were pushed back inside) do.
+        deduped: list[Process] = []
+        seen_keys: set[Process] = set()
+        for comp in components:
+            key = canonical_alpha(comp)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                deduped.append(comp)
+        components = deduped
+    body = _rebuild(components, Par, NIL)
+    # Drop unused binders (law h), order used ones by first free occurrence
+    # in the sorted body (laws i + j make any order equivalent), so that
+    # `nu x nu y` and `nu y nu x` canonicalise identically.
+    used = free_names(body)
+    occurrence = {name: i for i, name in enumerate(_free_occurrence_order(body))}
+    live = sorted((b for b in binders if b in used),
+                  key=lambda b: occurrence[b])
+    out = body
+    for b in reversed(live):
+        out = Restrict(b, out)
+    return out
+
+
+def _free_occurrence_order(p: Process) -> list[Name]:
+    """Free names of *p* in order of first occurrence (pre-order walk)."""
+    seen: list[Name] = []
+    seen_set: set[Name] = set()
+
+    def note(name: Name, shadow: frozenset[Name]) -> None:
+        if name not in shadow and name not in seen_set:
+            seen_set.add(name)
+            seen.append(name)
+
+    def walk(q: Process, shadow: frozenset[Name]) -> None:
+        if isinstance(q, Nil):
+            return
+        if isinstance(q, Tau):
+            walk(q.cont, shadow)
+        elif isinstance(q, Input):
+            note(q.chan, shadow)
+            walk(q.cont, shadow | frozenset(q.params))
+        elif isinstance(q, Output):
+            note(q.chan, shadow)
+            for a in q.args:
+                note(a, shadow)
+            walk(q.cont, shadow)
+        elif isinstance(q, Restrict):
+            walk(q.body, shadow | {q.name})
+        elif isinstance(q, Match):
+            note(q.left, shadow)
+            note(q.right, shadow)
+            walk(q.then, shadow)
+            walk(q.orelse, shadow)
+        elif isinstance(q, (Sum, Par)):
+            walk(q.left, shadow)
+            walk(q.right, shadow)
+        elif isinstance(q, Rec):
+            for a in q.args:
+                note(a, shadow)
+            walk(q.body, shadow | frozenset(q.params))
+        else:  # Ident
+            for a in getattr(q, "args", ()):
+                note(a, shadow)
+
+    walk(p, frozenset())
+    return seen

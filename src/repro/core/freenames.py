@@ -1,0 +1,140 @@
+"""Free names, bound names, and guardedness checks.
+
+Following Section 2.1 of the paper: ``nu x`` and input prefixes are the two
+name binders; ``fn(p)`` are the names of *p* not under a binder for them,
+``bn(p)`` the names bound somewhere in *p*, and ``n(p) = fn(p) + bn(p)``.
+
+For recursion, the paper assumes the parameter list of ``rec X(x~).p``
+contains all free names of the body, and that ``X`` occurs *guarded*
+(underneath a prefix) in the body; :func:`check_guarded` validates the
+latter, :func:`free_idents` computes the free process identifiers used by
+open-process machinery (Definition 12).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .names import Name
+from .syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+@lru_cache(maxsize=65536)
+def free_names(p: Process) -> frozenset[Name]:
+    """The set ``fn(p)`` of free names of *p*."""
+    if isinstance(p, Nil):
+        return frozenset()
+    if isinstance(p, Tau):
+        return free_names(p.cont)
+    if isinstance(p, Input):
+        return (free_names(p.cont) - frozenset(p.params)) | {p.chan}
+    if isinstance(p, Output):
+        return free_names(p.cont) | {p.chan} | frozenset(p.args)
+    if isinstance(p, Restrict):
+        return free_names(p.body) - {p.name}
+    if isinstance(p, Match):
+        return (free_names(p.then) | free_names(p.orelse)
+                | {p.left, p.right})
+    if isinstance(p, (Sum, Par)):
+        return free_names(p.left) | free_names(p.right)
+    if isinstance(p, Ident):
+        return frozenset(p.args)
+    if isinstance(p, Rec):
+        # params bind in body; the instantiating args are free.
+        return (free_names(p.body) - frozenset(p.params)) | frozenset(p.args)
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+@lru_cache(maxsize=65536)
+def bound_names(p: Process) -> frozenset[Name]:
+    """The set ``bn(p)`` of names bound somewhere in *p*."""
+    if isinstance(p, Nil):
+        return frozenset()
+    if isinstance(p, Tau):
+        return bound_names(p.cont)
+    if isinstance(p, Input):
+        return bound_names(p.cont) | frozenset(p.params)
+    if isinstance(p, Output):
+        return bound_names(p.cont)
+    if isinstance(p, Restrict):
+        return bound_names(p.body) | {p.name}
+    if isinstance(p, Match):
+        return bound_names(p.then) | bound_names(p.orelse)
+    if isinstance(p, (Sum, Par)):
+        return bound_names(p.left) | bound_names(p.right)
+    if isinstance(p, Ident):
+        return frozenset()
+    if isinstance(p, Rec):
+        return bound_names(p.body) | frozenset(p.params)
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def all_names(p: Process) -> frozenset[Name]:
+    """The set ``n(p) = fn(p) | bn(p)``."""
+    return free_names(p) | bound_names(p)
+
+
+def free_idents(p: Process) -> frozenset[str]:
+    """Process identifiers occurring free in *p* (not bound by a ``rec``)."""
+    if isinstance(p, Ident):
+        return frozenset({p.ident})
+    if isinstance(p, Rec):
+        return free_idents(p.body) - {p.ident}
+    out: frozenset[str] = frozenset()
+    for c in p.children():
+        out |= free_idents(c)
+    return out
+
+
+def is_closed(p: Process) -> bool:
+    """True if *p* contains no free process identifiers.
+
+    The paper reserves the word *process* for closed terms; open terms only
+    appear in the congruence machinery (Definition 12).
+    """
+    return not free_idents(p)
+
+
+def check_guarded(p: Process) -> None:
+    """Raise ``ValueError`` unless every ``rec``-bound identifier occurs
+    guarded (strictly underneath a prefix) in its body.
+
+    The paper assumes guardedness so that unfolding a recursion always makes
+    progress; the discard relation's rule (10) and the LTS rule (11) both
+    rely on it for termination.
+    """
+
+    def walk(q: Process, unguarded: frozenset[str]) -> None:
+        if isinstance(q, Ident):
+            if q.ident in unguarded:
+                raise ValueError(
+                    f"identifier {q.ident!r} occurs unguarded in a rec body")
+            return
+        if isinstance(q, (Tau, Input, Output)):
+            # Underneath a prefix everything is guarded.
+            walk(q.cont, frozenset())
+            return
+        if isinstance(q, Rec):
+            walk(q.body, unguarded | {q.ident})
+            return
+        for c in q.children():
+            walk(c, unguarded)
+
+    walk(p, frozenset())
+
+
+def validate(p: Process) -> None:
+    """Run all well-formedness checks the paper assumes on process terms."""
+    check_guarded(p)

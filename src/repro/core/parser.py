@@ -1,0 +1,285 @@
+"""Parser for the concrete bpi-calculus syntax (see :mod:`repro.core.pretty`).
+
+Grammar (recursive descent, standard precedence: prefixing > ``+`` > ``|``)::
+
+    process  ::= sum ('|' sum)*                      # '||' also accepted
+    sum      ::= factor ('+' factor)*
+    factor   ::= '0' | 'nil'
+               | 'tau' cont
+               | NAME '?' cont | NAME '(' names ')' cont      # input
+               | NAME '!' cont | NAME '<' names '>' cont      # output
+               | 'nu' NAME+ factor
+               | '[' NAME ('='|'!=') NAME ']' '{' process '}' [ '{' process '}' ]
+               | IDENT [ '<' names '>' ]                      # identifier
+               | 'rec' IDENT '(' bindings ')' '.' process     # sugared rec
+               | '(' process ')' [ '<' names '>' ]            # rec application
+    cont     ::= ['.' factor]
+    bindings ::= NAME ':=' NAME (',' NAME ':=' NAME)*
+
+Channel names start with a lowercase letter, process identifiers with an
+uppercase letter.  ``rec X(x := a, y := b). P`` is sugar for
+``(rec X(x, y). P)<a, b>``.  A parenthesised ``rec`` abstraction may be
+applied with ``<args>``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .names import FRESH_PREFIX
+from .substitution import BOUND_PREFIX
+from .syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        line = text.count("\n", 0, pos) + 1
+        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.pos = pos
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op>:=|!=|\|\||[0()<>{}\[\]=+|.,?!])
+""", re.VERBOSE)
+
+_KEYWORDS = {"nu", "tau", "rec", "nil"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+            pos = m.end()
+            if m.lastgroup == "ws":
+                continue
+            self.items.append((m.lastgroup, m.group(), m.start()))
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return ("eof", "", len(self.text))
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok[0] != "eof":
+            self.index += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, text, pos = self.next()
+        if text != value:
+            raise ParseError(f"expected {value!r}, found {text or 'end of input'!r}",
+                             self.text, pos)
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.index += 1
+            return True
+        return False
+
+
+def parse(text: str) -> Process:
+    """Parse *text* into a process term."""
+    toks = _Tokens(text)
+    p = _parse_par(toks)
+    kind, tok, pos = toks.peek()
+    if kind != "eof":
+        raise ParseError(f"unexpected trailing input {tok!r}", text, pos)
+    return p
+
+
+def _parse_par(toks: _Tokens) -> Process:
+    # Right-associative, matching the builders and the pretty printer.
+    left = _parse_sum(toks)
+    if toks.accept("|") or toks.accept("||"):
+        return Par(left, _parse_par(toks))
+    return left
+
+
+def _parse_sum(toks: _Tokens) -> Process:
+    left = _parse_factor(toks)
+    if toks.accept("+"):
+        return Sum(left, _parse_sum(toks))
+    return left
+
+
+def _parse_cont(toks: _Tokens) -> Process:
+    if toks.accept("."):
+        return _parse_factor(toks)
+    return NIL
+
+
+def _channel(name: str, toks: _Tokens, pos: int) -> str:
+    if name in _KEYWORDS:
+        raise ParseError(f"keyword {name!r} cannot be a channel", toks.text, pos)
+    if not name[0].islower():
+        raise ParseError(f"channel names start lowercase: {name!r}", toks.text, pos)
+    if name.startswith(BOUND_PREFIX) or name.startswith(FRESH_PREFIX):
+        raise ParseError(f"name {name!r} uses a reserved prefix", toks.text, pos)
+    return name
+
+
+def _parse_names(toks: _Tokens, closer: str) -> tuple[str, ...]:
+    names: list[str] = []
+    if toks.accept(closer):
+        return ()
+    while True:
+        kind, name, pos = toks.next()
+        if kind != "name":
+            raise ParseError(f"expected a name, found {name!r}", toks.text, pos)
+        names.append(_channel(name, toks, pos))
+        if toks.accept(closer):
+            return tuple(names)
+        toks.expect(",")
+
+
+def _parse_factor(toks: _Tokens) -> Process:
+    kind, tok, pos = toks.next()
+    if tok in ("0", "nil"):
+        return NIL
+    if tok == "tau":
+        return Tau(_parse_cont(toks))
+    if tok == "nu":
+        # `nu` binds exactly one name; write `nu x nu y p` for several.
+        k2, n2, p2 = toks.next()
+        if k2 != "name":
+            raise ParseError(f"nu needs a name, found {n2!r}", toks.text, p2)
+        body = _parse_factor(toks)
+        return Restrict(_channel(n2, toks, p2), body)
+    if tok == "rec":
+        return _parse_rec_sugar(toks, pos)
+    if tok == "[":
+        k1, left, p1 = toks.next()
+        if k1 != "name":
+            raise ParseError(f"expected a name in match, found {left!r}",
+                             toks.text, p1)
+        negated = False
+        if toks.accept("!="):
+            negated = True
+        else:
+            toks.expect("=")
+        k2, right, p2 = toks.next()
+        if k2 != "name":
+            raise ParseError(f"expected a name in match, found {right!r}",
+                             toks.text, p2)
+        toks.expect("]")
+        toks.expect("{")
+        then = _parse_par(toks)
+        toks.expect("}")
+        orelse = NIL
+        if toks.accept("{"):
+            orelse = _parse_par(toks)
+            toks.expect("}")
+        if negated:
+            then, orelse = orelse, then
+        return Match(_channel(left, toks, p1), _channel(right, toks, p2),
+                     then, orelse)
+    if tok == "(":
+        inner = _parse_par(toks)
+        toks.expect(")")
+        if toks.peek()[1] == "<":
+            # Application of a rec abstraction: an unapplied `rec X(x). P`
+            # parses with args == params (see _parse_rec_sugar).
+            if not isinstance(inner, Rec) or inner.args != inner.params:
+                raise ParseError("only a rec abstraction can be applied",
+                                 toks.text, toks.peek()[2])
+            toks.expect("<")
+            args = _parse_names(toks, ">")
+            if len(args) != len(inner.params):
+                raise ParseError(
+                    f"rec {inner.ident} expects {len(inner.params)} arguments,"
+                    f" got {len(args)}", toks.text, toks.peek()[2])
+            return Rec(inner.ident, inner.params, inner.body, args)
+        return inner
+    if kind == "name":
+        if tok[0].isupper():  # identifier occurrence
+            if toks.accept("<"):
+                args = _parse_names(toks, ">")
+                return Ident(tok, args)
+            return Ident(tok, ())
+        chan = _channel(tok, toks, pos)
+        if toks.accept("?"):
+            return Input(chan, (), _parse_cont(toks))
+        if toks.accept("!"):
+            return Output(chan, (), _parse_cont(toks))
+        if toks.accept("("):
+            params = _parse_names(toks, ")")
+            return Input(chan, params, _parse_cont(toks))
+        if toks.accept("<"):
+            args = _parse_names(toks, ">")
+            return Output(chan, args, _parse_cont(toks))
+        raise ParseError(
+            f"channel {chan!r} must be followed by ?, !, (params) or <args>",
+            toks.text, pos)
+    raise ParseError(f"unexpected token {tok or 'end of input'!r}", toks.text, pos)
+
+
+def _parse_rec_sugar(toks: _Tokens, pos: int) -> Process:
+    """Parse ``rec X(x, y). P``  or  ``rec X(x := a, y := b). P``.
+
+    The un-sugared form (plain parameters, no ``:=``) yields a rec
+    abstraction with empty args; it only becomes a valid closed term once
+    applied via ``(...)<args>`` — the application fills in ``args``.
+    """
+    kind, ident, ipos = toks.next()
+    if kind != "name" or not ident[0].isupper():
+        raise ParseError(f"rec needs a capitalised identifier, found {ident!r}",
+                         toks.text, ipos)
+    toks.expect("(")
+    params: list[str] = []
+    args: list[str] = []
+    sugared: bool | None = None
+    if not toks.accept(")"):
+        while True:
+            k1, name, p1 = toks.next()
+            if k1 != "name":
+                raise ParseError(f"expected parameter name, found {name!r}",
+                                 toks.text, p1)
+            params.append(_channel(name, toks, p1))
+            if toks.accept(":="):
+                if sugared is False:
+                    raise ParseError("mixed rec parameter styles", toks.text, p1)
+                sugared = True
+                k2, init, p2 = toks.next()
+                if k2 != "name":
+                    raise ParseError(f"expected initial value, found {init!r}",
+                                     toks.text, p2)
+                args.append(_channel(init, toks, p2))
+            else:
+                if sugared is True:
+                    raise ParseError("mixed rec parameter styles", toks.text, p1)
+                sugared = False
+            if toks.accept(")"):
+                break
+            toks.expect(",")
+    toks.expect(".")
+    body = _parse_par(toks)
+    if sugared:
+        return Rec(ident, tuple(params), body, tuple(args))
+    # Unapplied abstraction: args left empty, caller must apply `<...>`.
+    if params:
+        return Rec(ident, tuple(params), body, tuple(params))
+    return Rec(ident, (), body, ())

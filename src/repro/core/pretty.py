@@ -1,0 +1,92 @@
+"""Pretty printer for bpi-calculus terms.
+
+The output is valid input for :mod:`repro.core.parser`, so terms round-trip
+(``parse(pretty(p)) == p`` is property-tested).  Concrete syntax summary::
+
+    0                       nil
+    tau.P                   silent prefix
+    a(x, y).P   a?          input (a? for nullary); trailing ".0" omitted
+    a<x, y>.P   a!          output (a! for nullary)
+    nu x P                  restriction (P an atom; parenthesised otherwise)
+    [x=y]{P}{Q}             match;  [x!=y]{P}{Q} is mismatch sugar
+    P + Q                   choice          (binds tighter than |)
+    P | Q                   parallel
+    X<a, b>                 identifier occurrence (identifiers are capitalised)
+    (rec X(x, y). P)<a, b>  recursion
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+# Precedence levels: higher binds tighter.
+_PAR = 0
+_SUM = 1
+_PREFIX = 2  # prefixes, nu, match, atoms
+
+
+def pretty(p: Process) -> str:
+    """Render *p* in concrete syntax."""
+    return _render(p, _PAR)
+
+
+def _paren(text: str, level: int, context: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def _cont(p: Process) -> str:
+    """Render a prefix continuation, omitting trailing '.0'."""
+    if isinstance(p, Nil):
+        return ""
+    return "." + _render(p, _PREFIX)
+
+
+def _render(p: Process, context: int) -> str:
+    if isinstance(p, Nil):
+        return "0"
+    if isinstance(p, Tau):
+        return _paren(f"tau{_cont(p.cont)}", _PREFIX, context)
+    if isinstance(p, Input):
+        head = f"{p.chan}?" if not p.params else f"{p.chan}({', '.join(p.params)})"
+        return _paren(head + _cont(p.cont), _PREFIX, context)
+    if isinstance(p, Output):
+        head = f"{p.chan}!" if not p.args else f"{p.chan}<{', '.join(p.args)}>"
+        return _paren(head + _cont(p.cont), _PREFIX, context)
+    if isinstance(p, Restrict):
+        body = _render(p.body, _PREFIX)  # sums/parallels self-parenthesise
+        return _paren(f"nu {p.name} {body}", _PREFIX, context)
+    if isinstance(p, Match):
+        return _paren(
+            f"[{p.left}={p.right}]{{{_render(p.then, _PAR)}}}"
+            f"{{{_render(p.orelse, _PAR)}}}",
+            _PREFIX, context)
+    if isinstance(p, Sum):
+        # + is parsed right-associatively: parenthesise a nested left sum.
+        return _paren(f"{_render(p.left, _PREFIX)} + {_render(p.right, _SUM)}",
+                      _SUM, context)
+    if isinstance(p, Par):
+        return _paren(f"{_render(p.left, _SUM)} | {_render(p.right, _PAR)}",
+                      _PAR, context)
+    if isinstance(p, Ident):
+        if not p.args:
+            return p.ident
+        return f"{p.ident}<{', '.join(p.args)}>"
+    if isinstance(p, Rec):
+        params = ", ".join(p.params)
+        args = ", ".join(p.args)
+        return _paren(
+            f"(rec {p.ident}({params}). {_render(p.body, _PAR)})<{args}>",
+            _PREFIX, context)
+    raise TypeError(f"unknown process node {type(p).__name__}")

@@ -1,0 +1,164 @@
+"""Observables and reduction-style views of the LTS (Section 3).
+
+* ``p |down a``   — *strong barb*: p can immediately broadcast on channel a.
+* ``p |Down a``   — *weak barb*: p ==> p' with p' |down a   (after taus).
+* ``-phi->``      — the *step* relation: outputs and tau, i.e. everything a
+  closed broadcast system can do on its own (Section 3.2 argues this is the
+  real reduction relation of the calculus).
+* weak-phi barb ``|Down^phi a``: p (-phi->)* p' with p' |down a, used by
+  step-bisimulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+from typing import Callable, Iterator
+
+from .actions import OutputAction, TauAction
+from .names import Name
+from .semantics import step_transitions
+from .syntax import Process
+
+
+@lru_cache(maxsize=65536)
+def barbs(p: Process) -> frozenset[Name]:
+    """The strong barbs of *p*: subjects of immediately available outputs.
+
+    In a broadcast calculus only outputs are observable — sending is
+    non-blocking, so an observer cannot tell reception from discarding.
+    """
+    return frozenset(a.chan for a, _ in step_transitions(p)
+                     if isinstance(a, OutputAction))
+
+
+def has_barb(p: Process, chan: Name) -> bool:
+    """``p |down chan``."""
+    return chan in barbs(p)
+
+
+def tau_successors(p: Process) -> tuple[Process, ...]:
+    """All p' with ``p -tau-> p'``."""
+    return tuple(t for a, t in step_transitions(p) if isinstance(a, TauAction))
+
+
+def step_successors(p: Process) -> tuple[Process, ...]:
+    """All p' with ``p -phi-> p'`` (phi an output or tau), labels dropped."""
+    return tuple(t for _, t in step_transitions(p))
+
+
+def step_successors_closed(p: Process) -> tuple[Process, ...]:
+    """Step successors with extruded names re-restricted.
+
+    For a *closed* system under reachability analysis there is no
+    environment to remember an extruded name, so re-binding it around the
+    residual preserves all reachable barbs on the original free channels
+    while keeping the state space canonical (fresh names do not accumulate
+    path-dependent identities).
+    """
+    from .syntax import Restrict
+    out = []
+    for action, target in step_transitions(p):
+        if isinstance(action, OutputAction) and action.binders:
+            for b in reversed(action.binders):
+                target = Restrict(b, target)
+        out.append(target)
+    return tuple(out)
+
+
+def _bounded_closure(p: Process,
+                     successors: Callable[[Process], tuple[Process, ...]],
+                     max_states: int,
+                     canonical: Callable[[Process], Process] | None = None,
+                     ) -> Iterator[Process]:
+    """BFS over *successors* from *p*, up to *max_states* distinct states.
+
+    Raises :class:`StateSpaceExceeded` when the bound is hit; states are
+    deduplicated via *canonical* (defaults to alpha-canonicalization).
+    """
+    from .substitution import canonical_alpha
+    canon = canonical or canonical_alpha
+    start = canon(p)
+    seen = {start}
+    # Exploration continues from the canonical representative, so quotients
+    # that shrink the term (e.g. duplicate-component collapse) actually
+    # bound the growth of later states.
+    queue = deque([start])
+    while queue:
+        q = queue.popleft()
+        yield q
+        for nxt in successors(q):
+            key = canon(nxt)
+            if key in seen:
+                continue
+            if len(seen) >= max_states:
+                raise StateSpaceExceeded(
+                    f"more than {max_states} states reachable")
+            seen.add(key)
+            queue.append(key)
+
+
+class StateSpaceExceeded(RuntimeError):
+    """Raised when a bounded search exceeds its state budget."""
+
+
+def weak_barbs(p: Process, max_states: int = 10_000) -> frozenset[Name]:
+    """The weak barbs of *p*: ``{a | p ==> p' and p' |down a}``.
+
+    ``==>`` is the reflexive-transitive closure of ``-tau->``.
+    """
+    out: set[Name] = set()
+    for q in _bounded_closure(p, tau_successors, max_states):
+        out |= barbs(q)
+    return frozenset(out)
+
+
+def has_weak_barb(p: Process, chan: Name, max_states: int = 10_000) -> bool:
+    """``p |Down chan``."""
+    for q in _bounded_closure(p, tau_successors, max_states):
+        if has_barb(q, chan):
+            return True
+    return False
+
+
+def weak_step_barbs(p: Process, max_states: int = 10_000) -> frozenset[Name]:
+    """``{a | p (-phi->)* p' and p' |down a}`` — step-weak barbs.
+
+    Step-bisimulation (Definition 5) uses this observability predicate: a
+    channel counts as observable if the process can broadcast on it after
+    some autonomous steps (including other broadcasts, not only taus).
+    """
+    out: set[Name] = set()
+    for q in _bounded_closure(p, step_successors, max_states):
+        out |= barbs(q)
+    return frozenset(out)
+
+
+def reachable_by_steps(p: Process, max_states: int = 10_000) -> Iterator[Process]:
+    """All processes reachable from *p* by ``-phi->`` steps (bounded BFS)."""
+    return _bounded_closure(p, step_successors, max_states)
+
+
+def can_reach_barb(p: Process, chan: Name, max_states: int = 100_000,
+                   collapse_duplicates: bool = False) -> bool:
+    """Reachability query: can *p* autonomously reach a state barbing *chan*?
+
+    The workhorse behind the paper's examples — e.g. "does the cycle
+    detector eventually signal on ``o``?" is ``can_reach_barb(system, 'o')``.
+    Treats the system as closed: extruded names are re-restricted and
+    states deduplicated up to structural congruence.
+
+    With ``collapse_duplicates`` states are further quotiented by
+    idempotence of identical parallel components — a sound
+    *under-approximation* (broadcast composition is monotone in parallel
+    components), exact for systems that never count duplicate receptions;
+    it turns the paper's examples' unbounded emitter pile-ups into small
+    finite state spaces.
+    """
+    from .canonical import canonical_state, canonical_state_collapsed
+    canon = canonical_state_collapsed if collapse_duplicates else canonical_state
+    for q in _bounded_closure(p, step_successors_closed, max_states,
+                              canonical=canon):
+        if has_barb(q, chan):
+            return True
+    return False

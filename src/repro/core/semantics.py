@@ -1,0 +1,296 @@
+"""Early operational semantics of the bpi-calculus (Table 3 of the paper).
+
+The LTS is factored into two judgements, mirroring how the rules use them:
+
+* :func:`step_transitions` enumerates the *autonomous* moves ``p -phi-> p'``
+  where ``phi`` is an output or ``tau`` — these never need environment
+  participation and are finitely branching.
+
+* :func:`input_continuations` computes the continuations of the early input
+  ``p -a(v~)-> p'`` for one *concrete* received vector ``v~``.  The early
+  rule (3) branches over all name vectors, so enumeration is delegated to
+  the exploration layer, which instantiates over a finite
+  :class:`~repro.core.names.NameUniverse`.
+
+Broadcast is what makes the parallel rules (12)-(14) unusual:
+
+* an output is matched against **every** parallel component: a component
+  listening on the subject *must* receive (rule 13), one not listening is
+  left unchanged (rule 14) — so a single send can have many receivers;
+* outputs stay observable under composition; they become ``tau`` only when
+  the subject channel is restricted (rule 6), which also re-establishes the
+  scope of names extruded by the broadcast;
+* restriction implements pi-style scope extrusion (rule 5), except that a
+  bound output may export the fresh name to arbitrarily many receivers at
+  once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .actions import TAU, Action, InputAction, OutputAction, TauAction
+from .discard import discards
+from .freenames import free_names
+from .names import Name, fresh_name
+from .substitution import apply_subst, unfold_rec
+from .syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+#: A transition: (action, target process).
+Transition = tuple[Action, Process]
+
+
+def freshen_action_binders(action: OutputAction, residual: Process,
+                           avoid: frozenset[Name]) -> tuple[OutputAction, Process]:
+    """Alpha-rename the binders of a bound output away from *avoid*.
+
+    The binders of ``nu y~ a<z~>`` are free in the residual, so renaming a
+    binder renames it in the residual too.  Needed by rule (13)'s side
+    condition ``y~ /\\ fn(p2) = {}`` and by rule (5)/(7) clashes at
+    restrictions.
+    """
+    clashing = [b for b in action.binders if b in avoid]
+    if not clashing:
+        return action, residual
+    taken = (set(avoid) | set(action.objects) | {action.chan}
+             | set(free_names(residual)))
+    mapping: dict[Name, Name] = {}
+    for b in clashing:
+        nb = fresh_name(taken, hint=b)
+        taken.add(nb)
+        mapping[b] = nb
+    new_action = OutputAction(
+        action.chan,
+        tuple(mapping.get(o, o) for o in action.objects),
+        tuple(mapping.get(b, b) for b in action.binders),
+    )
+    return new_action, apply_subst(residual, mapping)
+
+
+@lru_cache(maxsize=65536)
+def step_transitions(p: Process) -> tuple[Transition, ...]:
+    """All ``p -phi-> p'`` with ``phi`` an output or ``tau``.
+
+    These are the "steps" of Section 3.2 — the real reduction relation of a
+    broadcast calculus, since a sender never waits for receivers.
+    """
+    if isinstance(p, (Nil, Input)):
+        return ()
+    if isinstance(p, Tau):
+        return ((TAU, p.cont),)  # rule (2)
+    if isinstance(p, Output):
+        return ((OutputAction(p.chan, p.args, ()), p.cont),)  # rule (4)
+    if isinstance(p, Sum):  # rule (8)
+        return step_transitions(p.left) + step_transitions(p.right)
+    if isinstance(p, Match):  # rules (9), (10)
+        branch = p.then if p.left == p.right else p.orelse
+        return step_transitions(branch)
+    if isinstance(p, Rec):  # rule (11)
+        return step_transitions(unfold_rec(p))
+    if isinstance(p, Restrict):
+        return tuple(_restrict_steps(p))
+    if isinstance(p, Par):
+        return tuple(_par_steps(p))
+    if isinstance(p, Ident):
+        raise ValueError(
+            f"cannot take transitions of open process (free identifier {p.ident!r})")
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def _restrict_steps(p: Restrict) -> list[Transition]:
+    x, body = p.name, p.body
+    out: list[Transition] = []
+    for action, target in step_transitions(body):
+        if isinstance(action, TauAction):  # rule (7)
+            out.append((TAU, Restrict(x, target)))
+            continue
+        assert isinstance(action, OutputAction)
+        if action.chan == x:
+            # Rule (6): a broadcast on the restricted channel is internal;
+            # the scope of any names it extruded is re-established.
+            q = target
+            for b in reversed(action.binders):
+                q = Restrict(b, q)
+            out.append((TAU, Restrict(x, q)))
+            continue
+        if x in action.binders:
+            # Shadowing: an inner restriction happened to extrude a name
+            # spelled like x; rename that binder so rules (5)/(7) apply.
+            action, target = freshen_action_binders(action, target, frozenset((x,)))
+        if x in action.objects:
+            # Rule (5): scope extrusion — x joins the binders and the
+            # restriction disappears (its scope now spans all receivers).
+            out.append((OutputAction(action.chan, action.objects,
+                                     action.binders + (x,)), target))
+        else:
+            # Rule (7): x not involved, keep the restriction.
+            out.append((action, Restrict(x, target)))
+    return out
+
+
+def _par_steps(p: Par) -> list[Transition]:
+    out: list[Transition] = []
+    for active, passive, rebuild in (
+        (p.left, p.right, lambda a, b: Par(a, b)),
+        (p.right, p.left, lambda a, b: Par(b, a)),
+    ):
+        for action, target in step_transitions(active):
+            if isinstance(action, TauAction):
+                # Rule (14) with alpha = tau (every process "discards" tau).
+                out.append((TAU, rebuild(target, passive)))
+                continue
+            assert isinstance(action, OutputAction)
+            # Side condition of rules (13)/(14): extruded names fresh for
+            # the passive side.
+            action, target = freshen_action_binders(
+                action, target, free_names(passive))
+            if discards(passive, action.chan):
+                # Rule (14): the passive side is not listening; unchanged.
+                out.append((action, rebuild(target, passive)))
+            else:
+                # Rule (13): the passive side *must* receive the broadcast.
+                for received in input_continuations(
+                        passive, action.chan, action.objects):
+                    out.append((action, rebuild(target, received)))
+    return out
+
+
+@lru_cache(maxsize=65536)
+def input_continuations(p: Process, chan: Name,
+                        values: tuple[Name, ...]) -> tuple[Process, ...]:
+    """All ``p'`` with ``p -chan(values)-> p'`` (early input, rule (3)).
+
+    Returns the empty tuple when *p* discards *chan* (or listens at a
+    different arity — the calculus is implicitly well-sorted; see
+    :func:`check_sorts`).
+    """
+    if isinstance(p, (Nil, Tau, Output)):
+        return ()
+    if isinstance(p, Input):
+        if p.chan != chan or len(p.params) != len(values):
+            return ()
+        return (apply_subst(p.cont, dict(zip(p.params, values))),)
+    if isinstance(p, Sum):  # rule (8)
+        return (input_continuations(p.left, chan, values)
+                + input_continuations(p.right, chan, values))
+    if isinstance(p, Match):  # rules (9), (10)
+        branch = p.then if p.left == p.right else p.orelse
+        return input_continuations(branch, chan, values)
+    if isinstance(p, Rec):  # rule (11)
+        return input_continuations(unfold_rec(p), chan, values)
+    if isinstance(p, Restrict):
+        x, body = p.name, p.body
+        if x == chan:
+            # The environment cannot address a private channel.
+            return ()
+        if x in values:
+            # The received vector mentions a name spelled like the bound
+            # one; alpha-rename the restriction first (rule (1) + (7)).
+            nx = fresh_name(free_names(body) | set(values) | {chan, x}, hint=x)
+            body = apply_subst(body, {x: nx})
+            x = nx
+        return tuple(Restrict(x, q)
+                     for q in input_continuations(body, chan, values))
+    if isinstance(p, Par):
+        # Rules (12) and (14): every component listening on `chan` receives,
+        # every component not listening stays put.  If either side listens
+        # only at a different arity, the broadcast cannot be assembled.
+        left_discards = discards(p.left, chan)
+        right_discards = discards(p.right, chan)
+        if left_discards and right_discards:
+            return ()
+        if left_discards:
+            return tuple(Par(p.left, r)
+                         for r in input_continuations(p.right, chan, values))
+        if right_discards:
+            return tuple(Par(l, p.right)
+                         for l in input_continuations(p.left, chan, values))
+        lefts = input_continuations(p.left, chan, values)
+        rights = input_continuations(p.right, chan, values)
+        return tuple(Par(l, r) for l in lefts for r in rights)
+    if isinstance(p, Ident):
+        raise ValueError(
+            f"cannot take transitions of open process (free identifier {p.ident!r})")
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+@lru_cache(maxsize=65536)
+def input_capabilities(p: Process) -> frozenset[tuple[Name, int]]:
+    """The (channel, arity) pairs at which *p* can currently receive.
+
+    The channels here are exactly ``In(p)`` (when *p* is well-sorted); the
+    arity accompanies them so exploration knows which vectors to offer.
+    """
+    if isinstance(p, (Nil, Tau, Output)):
+        return frozenset()
+    if isinstance(p, Input):
+        return frozenset(((p.chan, len(p.params)),))
+    if isinstance(p, (Sum, Par)):
+        return input_capabilities(p.left) | input_capabilities(p.right)
+    if isinstance(p, Match):
+        branch = p.then if p.left == p.right else p.orelse
+        return input_capabilities(branch)
+    if isinstance(p, Rec):
+        return input_capabilities(unfold_rec(p))
+    if isinstance(p, Restrict):
+        return frozenset((c, k) for (c, k) in input_capabilities(p.body)
+                         if c != p.name)
+    if isinstance(p, Ident):
+        raise ValueError(
+            f"cannot inspect open process (free identifier {p.ident!r})")
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def transitions(p: Process, universe) -> list[Transition]:
+    """The full (finitized) transition set of *p*.
+
+    Outputs and tau come from :func:`step_transitions`; inputs are
+    instantiated over all vectors of the given
+    :class:`~repro.core.names.NameUniverse`.
+    """
+    result: list[Transition] = list(step_transitions(p))
+    for chan, arity in sorted(input_capabilities(p)):
+        for values in universe.vectors(arity):
+            for target in input_continuations(p, chan, values):
+                result.append((InputAction(chan, values), target))
+    return result
+
+
+def check_sorts(p: Process) -> dict[Name, int]:
+    """Verify that every channel is used at one arity only.
+
+    The paper works with an implicitly well-sorted polyadic calculus; mixing
+    arities on one channel would break the input/discard dichotomy.  Returns
+    the inferred sort (arity per free channel).  Raises ``ValueError`` on an
+    inconsistency.
+    """
+    sorts: dict[Name, int] = {}
+
+    def note(chan: Name, arity: int, where: str) -> None:
+        old = sorts.setdefault(chan, arity)
+        if old != arity:
+            raise ValueError(
+                f"channel {chan!r} used at arities {old} and {arity} ({where})")
+
+    def walk(q: Process) -> None:
+        if isinstance(q, Input):
+            note(q.chan, len(q.params), "input")
+        elif isinstance(q, Output):
+            note(q.chan, len(q.args), "output")
+        for c in q.children():
+            walk(c)
+
+    walk(p)
+    return sorts

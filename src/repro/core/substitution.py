@@ -1,0 +1,305 @@
+"""Capture-avoiding substitution, alpha-conversion and alpha-equality.
+
+Substitutions map names to names (the calculus is first-order in that only
+channel names are transmitted).  ``apply_subst`` renames bound names on the
+fly whenever they would capture a substituted name.  ``canonical_alpha``
+rewrites every binder to a canonical indexed name in pre-order, so that two
+terms are alpha-equivalent iff their canonical forms are structurally equal
+(rule (1) of Table 3 lets the LTS identify alpha-convertible terms).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Mapping
+
+from .freenames import free_names
+from .names import Name, fresh_name
+from .syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+#: Reserved prefix for canonical bound names; the parser rejects user names
+#: with this prefix so canonical forms never clash with free names.
+BOUND_PREFIX = "_v"
+
+Subst = Mapping[Name, Name]
+
+
+def restrict_subst(mapping: Subst, names: frozenset[Name]) -> dict[Name, Name]:
+    """Restrict *mapping* to *names*, dropping identity entries."""
+    return {x: y for x, y in mapping.items() if x in names and x != y}
+
+
+def subst_name(x: Name, mapping: Subst) -> Name:
+    """Apply *mapping* to a single name."""
+    return mapping.get(x, x)
+
+
+def subst_names(xs: tuple[Name, ...], mapping: Subst) -> tuple[Name, ...]:
+    """Apply *mapping* pointwise to a name vector."""
+    return tuple(mapping.get(x, x) for x in xs)
+
+
+def _refresh_binders(binders: tuple[Name, ...], body_free: frozenset[Name],
+                     mapping: dict[Name, Name]) -> tuple[tuple[Name, ...], dict[Name, Name]]:
+    """Prepare *binders* for passing a substitution under them.
+
+    Returns the (possibly renamed) binders and the substitution extended
+    with any renamings; entries for binder names are removed first since a
+    binder shadows outer substitution.
+    """
+    inner = {x: y for x, y in mapping.items() if x not in binders}
+    # Names that could be captured: codomain of the part of the substitution
+    # that actually acts on the body's free names.
+    relevant_cod = {inner[x] for x in body_free if x in inner}
+    clash = [b for b in binders if b in relevant_cod]
+    if not clash:
+        return binders, inner
+    avoid = set(body_free) | set(inner.keys()) | set(inner.values()) | set(binders)
+    new_binders = []
+    for b in binders:
+        if b in relevant_cod:
+            nb = fresh_name(avoid, hint=b)
+            avoid.add(nb)
+            inner[b] = nb
+            new_binders.append(nb)
+        else:
+            new_binders.append(b)
+    return tuple(new_binders), inner
+
+
+def apply_subst(p: Process, mapping: Subst) -> Process:
+    """Apply the name substitution *mapping* to *p*, avoiding capture."""
+    live = restrict_subst(mapping, free_names(p))
+    if not live:
+        return p
+    return _apply(p, live)
+
+
+def _apply(p: Process, mapping: dict[Name, Name]) -> Process:
+    if not mapping:
+        return p
+    if isinstance(p, Nil):
+        return p
+    if isinstance(p, Tau):
+        return Tau(_apply_trim(p.cont, mapping))
+    if isinstance(p, Input):
+        chan = subst_name(p.chan, mapping)
+        params, inner = _refresh_binders(p.params, free_names(p.cont), dict(mapping))
+        return Input(chan, params, _apply_trim(p.cont, inner))
+    if isinstance(p, Output):
+        return Output(subst_name(p.chan, mapping), subst_names(p.args, mapping),
+                      _apply_trim(p.cont, mapping))
+    if isinstance(p, Restrict):
+        binders, inner = _refresh_binders((p.name,), free_names(p.body), dict(mapping))
+        return Restrict(binders[0], _apply_trim(p.body, inner))
+    if isinstance(p, Match):
+        return Match(subst_name(p.left, mapping), subst_name(p.right, mapping),
+                     _apply_trim(p.then, mapping), _apply_trim(p.orelse, mapping))
+    if isinstance(p, Sum):
+        return Sum(_apply_trim(p.left, mapping), _apply_trim(p.right, mapping))
+    if isinstance(p, Par):
+        return Par(_apply_trim(p.left, mapping), _apply_trim(p.right, mapping))
+    if isinstance(p, Ident):
+        return Ident(p.ident, subst_names(p.args, mapping))
+    if isinstance(p, Rec):
+        args = subst_names(p.args, mapping)
+        # The paper assumes fn(body) is contained in the parameters, so the
+        # body itself is unaffected by outer substitution; we still handle
+        # the general case for robustness.
+        body_free = free_names(p.body) - frozenset(p.params)
+        inner = restrict_subst(mapping, body_free)
+        if inner:
+            params, inner2 = _refresh_binders(p.params, free_names(p.body),
+                                              dict(inner))
+            return Rec(p.ident, params, _apply_trim(p.body, inner2), args)
+        return Rec(p.ident, p.params, p.body, args)
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def _apply_trim(p: Process, mapping: dict[Name, Name]) -> Process:
+    live = restrict_subst(mapping, free_names(p))
+    if not live:
+        return p
+    return _apply(p, live)
+
+
+def subst_ident(p: Process, ident: str, params: tuple[Name, ...],
+                body: Process) -> Process:
+    """Replace free occurrences ``X<z~>`` in *p* by ``(rec X(x~).body)<z~>``.
+
+    This is the identifier part of the unfolding in rule (11) of Table 3:
+    ``p[(rec X(x~).p)/X]``.
+    """
+    if isinstance(p, Ident):
+        if p.ident == ident:
+            return Rec(ident, params, body, p.args)
+        return p
+    if isinstance(p, Rec):
+        if p.ident == ident:  # inner rec shadows X
+            return p
+        return Rec(p.ident, p.params,
+                   subst_ident(p.body, ident, params, body), p.args)
+    if isinstance(p, Nil):
+        return p
+    if isinstance(p, Tau):
+        return Tau(subst_ident(p.cont, ident, params, body))
+    if isinstance(p, Input):
+        return Input(p.chan, p.params, subst_ident(p.cont, ident, params, body))
+    if isinstance(p, Output):
+        return Output(p.chan, p.args, subst_ident(p.cont, ident, params, body))
+    if isinstance(p, Restrict):
+        return Restrict(p.name, subst_ident(p.body, ident, params, body))
+    if isinstance(p, Match):
+        return Match(p.left, p.right,
+                     subst_ident(p.then, ident, params, body),
+                     subst_ident(p.orelse, ident, params, body))
+    if isinstance(p, Sum):
+        return Sum(subst_ident(p.left, ident, params, body),
+                   subst_ident(p.right, ident, params, body))
+    if isinstance(p, Par):
+        return Par(subst_ident(p.left, ident, params, body),
+                   subst_ident(p.right, ident, params, body))
+    raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+def unfold_rec(p: Rec) -> Process:
+    """One-step unfolding of a recursion, per rule (11):
+
+    ``(rec X(x~).body)<y~>``  unfolds to  ``body[(rec X(x~).body)/X][y~/x~]``.
+    """
+    expanded = subst_ident(p.body, p.ident, p.params, p.body)
+    mapping = dict(zip(p.params, p.args))
+    return apply_subst(expanded, mapping)
+
+
+# --------------------------------------------------------------------------
+# Canonical alpha-renaming and alpha-equality
+# --------------------------------------------------------------------------
+
+@lru_cache(maxsize=65536)
+def canonical_alpha(p: Process) -> Process:
+    """Rename every binder of *p* to a canonical indexed name.
+
+    Two processes are alpha-equivalent iff their canonical forms are equal.
+    Canonical names are assigned in pre-order, so the result is deterministic
+    and independent of the original bound names.
+    """
+    counter = [0]
+
+    def next_name() -> Name:
+        n = f"{BOUND_PREFIX}{counter[0]}"
+        counter[0] += 1
+        return n
+
+    def walk(q: Process, env: dict[Name, Name]) -> Process:
+        if isinstance(q, Nil):
+            return q
+        if isinstance(q, Tau):
+            return Tau(walk(q.cont, env))
+        if isinstance(q, Input):
+            chan = env.get(q.chan, q.chan)
+            new_params = tuple(next_name() for _ in q.params)
+            inner = dict(env)
+            inner.update(zip(q.params, new_params))
+            return Input(chan, new_params, walk(q.cont, inner))
+        if isinstance(q, Output):
+            return Output(env.get(q.chan, q.chan),
+                          tuple(env.get(a, a) for a in q.args),
+                          walk(q.cont, env))
+        if isinstance(q, Restrict):
+            new_name = next_name()
+            inner = dict(env)
+            inner[q.name] = new_name
+            return Restrict(new_name, walk(q.body, inner))
+        if isinstance(q, Match):
+            return Match(env.get(q.left, q.left), env.get(q.right, q.right),
+                         walk(q.then, env), walk(q.orelse, env))
+        if isinstance(q, Sum):
+            return Sum(walk(q.left, env), walk(q.right, env))
+        if isinstance(q, Par):
+            return Par(walk(q.left, env), walk(q.right, env))
+        if isinstance(q, Ident):
+            return Ident(q.ident, tuple(env.get(a, a) for a in q.args))
+        if isinstance(q, Rec):
+            args = tuple(env.get(a, a) for a in q.args)
+            new_params = tuple(next_name() for _ in q.params)
+            inner = dict(env)
+            inner.update(zip(q.params, new_params))
+            return Rec(q.ident, new_params, walk(q.body, inner), args)
+        raise TypeError(f"unknown process node {type(q).__name__}")
+
+    return walk(p, {})
+
+
+def alpha_eq(p: Process, q: Process) -> bool:
+    """Alpha-equivalence of process terms (rule (1) of Table 3)."""
+    if p is q or p == q:
+        return True
+    return canonical_alpha(p) == canonical_alpha(q)
+
+
+def rename_bound_apart(p: Process, avoid: frozenset[Name]) -> Process:
+    """Alpha-rename binders of *p* so that no bound name is in *avoid*.
+
+    Useful before placing *p* in a context where name clashes between its
+    binders and outside names would force repeated on-the-fly renaming.
+    """
+
+    def walk(q: Process, env: dict[Name, Name], taken: set[Name]) -> Process:
+        if isinstance(q, Nil):
+            return q
+        if isinstance(q, Tau):
+            return Tau(walk(q.cont, env, taken))
+        if isinstance(q, Input):
+            chan = env.get(q.chan, q.chan)
+            new_params, inner = _walk_binders(q.params, env, taken)
+            return Input(chan, new_params, walk(q.cont, inner, taken))
+        if isinstance(q, Output):
+            return Output(env.get(q.chan, q.chan),
+                          tuple(env.get(a, a) for a in q.args),
+                          walk(q.cont, env, taken))
+        if isinstance(q, Restrict):
+            new_names, inner = _walk_binders((q.name,), env, taken)
+            return Restrict(new_names[0], walk(q.body, inner, taken))
+        if isinstance(q, Match):
+            return Match(env.get(q.left, q.left), env.get(q.right, q.right),
+                         walk(q.then, env, taken), walk(q.orelse, env, taken))
+        if isinstance(q, Sum):
+            return Sum(walk(q.left, env, taken), walk(q.right, env, taken))
+        if isinstance(q, Par):
+            return Par(walk(q.left, env, taken), walk(q.right, env, taken))
+        if isinstance(q, Ident):
+            return Ident(q.ident, tuple(env.get(a, a) for a in q.args))
+        if isinstance(q, Rec):
+            args = tuple(env.get(a, a) for a in q.args)
+            new_params, inner = _walk_binders(q.params, env, taken)
+            return Rec(q.ident, new_params, walk(q.body, inner, taken), args)
+        raise TypeError(f"unknown process node {type(q).__name__}")
+
+    def _walk_binders(binders: tuple[Name, ...], env: dict[Name, Name],
+                      taken: set[Name]) -> tuple[tuple[Name, ...], dict[Name, Name]]:
+        inner = dict(env)
+        out = []
+        for b in binders:
+            if b in avoid or b in taken:
+                nb = fresh_name(avoid | taken | set(inner.values()), hint=b)
+            else:
+                nb = b
+            taken.add(nb)
+            inner[b] = nb
+            out.append(nb)
+        return tuple(out), inner
+
+    return walk(p, {}, set(free_names(p)))

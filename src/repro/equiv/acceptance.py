@@ -1,0 +1,136 @@
+"""Acceptance sets — the denotational side of testing (extension).
+
+Classical testing theory characterises must-preorders by *acceptance
+sets*: after each trace, the collection of "ready sets" offered by the
+stable (tau-quiescent) states reachable along it.  This module computes
+the broadcast analogue over output traces:
+
+* a *stable* state has no tau move (it may still broadcast — broadcasts
+  are locally controlled, so the natural ready set here is the barb set);
+* ``acceptance_sets(p, trace)`` = the barb-sets of stable states reachable
+  by performing exactly *trace* (interleaved with taus);
+* ``accepts_refines`` — the Smyth-style comparison underlying the
+  must-preorder: q refines p when after every trace, each of q's
+  acceptance sets dominates one of p's.
+
+The classic separations come out right (tested): internal vs external
+choice differ, ``a!.(b! + c!)`` vs ``a!.b! + a!.c!`` differ after ``a``,
+while may-equivalence sees neither.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.actions import OutputAction, TauAction
+from ..core.canonical import canonical_state
+from ..core.names import Name
+from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.semantics import step_transitions
+from ..core.syntax import Process, Restrict
+
+#: A trace is a tuple of output subjects (payloads ignored at this level).
+Trace = tuple[Name, ...]
+
+
+def is_stable(p: Process) -> bool:
+    """No internal move available."""
+    return not any(isinstance(a, TauAction) for a, _ in step_transitions(p))
+
+
+def _after(p: Process, trace: Trace, max_states: int) -> set[Process]:
+    """All canonical states reachable by exactly *trace* (mod taus)."""
+    current: set[Process] = set()
+    frontier = deque([(canonical_state(p), 0)])
+    seen: set[tuple[Process, int]] = set()
+    results: set[Process] = set()
+    while frontier:
+        state, idx = frontier.popleft()
+        if (state, idx) in seen:
+            continue
+        if len(seen) >= max_states:
+            raise StateSpaceExceeded(
+                f"acceptance exploration exceeds {max_states} states")
+        seen.add((state, idx))
+        if idx == len(trace):
+            results.add(state)
+        for action, target in step_transitions(state):
+            if isinstance(action, OutputAction) and action.binders:
+                for b in reversed(action.binders):
+                    target = Restrict(b, target)
+            tgt = canonical_state(target)
+            if isinstance(action, TauAction):
+                frontier.append((tgt, idx))
+            elif isinstance(action, OutputAction):
+                if idx < len(trace) and action.chan == trace[idx]:
+                    frontier.append((tgt, idx + 1))
+    del current
+    return results
+
+
+def acceptance_sets(p: Process, trace: Trace = (),
+                    max_states: int = 20_000) -> frozenset[frozenset[Name]]:
+    """The barb-sets of the stable states reachable after *trace*."""
+    return frozenset(barbs(s) for s in _after(p, trace, max_states)
+                     if is_stable(s))
+
+
+def traces_upto(p: Process, max_depth: int = 4,
+                max_states: int = 20_000) -> frozenset[Trace]:
+    """Output-subject traces of length <= max_depth (prefix-closed)."""
+    out: set[Trace] = {()}
+    frontier = deque([(canonical_state(p), ())])
+    seen = set(frontier)
+    while frontier:
+        state, trace = frontier.popleft()
+        if len(trace) >= max_depth:
+            continue
+        if len(seen) >= max_states:
+            break
+        for action, target in step_transitions(state):
+            if isinstance(action, OutputAction) and action.binders:
+                for b in reversed(action.binders):
+                    target = Restrict(b, target)
+            tgt = canonical_state(target)
+            if isinstance(action, TauAction):
+                item = (tgt, trace)
+            elif isinstance(action, OutputAction):
+                new_trace = trace + (action.chan,)
+                out.add(new_trace)
+                item = (tgt, new_trace)
+            else:  # pragma: no cover - step_transitions yields no inputs
+                continue
+            if item not in seen:
+                seen.add(item)
+                frontier.append(item)
+    return frozenset(out)
+
+
+def accepts_refines(p: Process, q: Process, *, max_depth: int = 3,
+                    max_states: int = 20_000) -> bool:
+    """Smyth refinement of acceptance sets: for every common trace, each
+    acceptance set of *q* includes some acceptance set of *p*.
+
+    ``q`` refining ``p`` means q is at least as deterministic/ready as p —
+    the denotational shadow of ``p <=must q`` for output-only behaviour.
+    """
+    for trace in sorted(traces_upto(p, max_depth, max_states)):
+        p_acc = acceptance_sets(p, trace, max_states)
+        q_acc = acceptance_sets(q, trace, max_states)
+        if not p_acc:
+            continue
+        for q_ready in q_acc:
+            if not any(p_ready <= q_ready for p_ready in p_acc):
+                return False
+    return True
+
+
+def acceptance_equal(p: Process, q: Process, **kw) -> bool:
+    """Same traces and same acceptance sets after each (bounded)."""
+    depth = kw.get("max_depth", 3)
+    ms = kw.get("max_states", 20_000)
+    tp, tq = traces_upto(p, depth, ms), traces_upto(q, depth, ms)
+    if tp != tq:
+        return False
+    return all(acceptance_sets(p, t, ms) == acceptance_sets(q, t, ms)
+               for t in sorted(tp))

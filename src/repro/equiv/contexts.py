@@ -1,0 +1,162 @@
+"""Process contexts (Tables 4 and 5) and context-closure testing.
+
+A *context* is a term with one hole; a *static* context is built from the
+hole, restriction and parallel composition only.  Barbed/step *equivalence*
+(Definitions 4/6) close the corresponding bisimilarity under all static
+contexts; since that quantification is not finitely computable in general,
+this module provides:
+
+* first-class context values with ``fill``;
+* enumeration of all static contexts up to a given size over a name pool —
+  sound and *refutation-complete up to the bound* for inequivalence;
+* the discriminating *sensor* contexts from the proof of Theorem 3
+  (``C1[.] = u(z1)...u(zn).([.] + sum zi(x).v)``), which reduce congruence
+  to bisimilarity of filled terms.
+
+Theorem 1 guarantees that on image-finite processes the context closure
+coincides with labelled bisimilarity, so the labelled checker is the
+practical decision procedure; contexts serve for refutation, for testing
+that theorem, and for pedagogy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable, Iterator, Sequence
+
+from ..core.builder import choice, inp, out
+from ..core.freenames import free_names
+from ..core.names import Name, fresh_name
+from ..core.syntax import NIL, Par, Process, Restrict
+
+
+@dataclass(frozen=True)
+class StaticContext:
+    """A static context ``nu x1..xk ( [.] | r )`` in normal shape.
+
+    Every static context of Table 5 is equivalent to one of this shape
+    (restrictions hoisted, parallel components merged), which makes
+    enumeration canonical.
+    """
+
+    binders: tuple[Name, ...] = ()
+    sides: tuple[Process, ...] = ()
+
+    def fill(self, p: Process) -> Process:
+        body = p
+        for side in self.sides:
+            body = Par(body, side)
+        for b in reversed(self.binders):
+            body = Restrict(b, body)
+        return body
+
+    def __str__(self) -> str:
+        hole = "[.]"
+        parts = [hole] + [str(s) for s in self.sides]
+        inner = " | ".join(parts)
+        for b in reversed(self.binders):
+            inner = f"nu {b} ({inner})"
+        return inner
+
+
+def hole() -> StaticContext:
+    """The empty context ``[.]``."""
+    return StaticContext()
+
+
+def static_contexts(components: Sequence[Process],
+                    restrict_names: Sequence[Name],
+                    max_components: int = 1) -> Iterator[StaticContext]:
+    """Enumerate static contexts combining the given parallel *components*
+    (each used at most once) under subsets of *restrict_names*."""
+    comps = tuple(components)
+    names = tuple(restrict_names)
+
+    def subsets(items: tuple) -> Iterator[tuple]:
+        n = len(items)
+        for mask in range(1 << n):
+            yield tuple(items[i] for i in range(n) if mask >> i & 1)
+
+    for side_set in subsets(comps):
+        if len(side_set) > max_components:
+            continue
+        for binder_set in subsets(names):
+            yield StaticContext(binder_set, side_set)
+
+
+def closed_under_contexts(p: Process, q: Process,
+                          relation: Callable[[Process, Process], bool],
+                          contexts: Iterator[StaticContext],
+                          witness: list | None = None) -> bool:
+    """Check ``relation(C[p], C[q])`` for every context in *contexts*.
+
+    Refutation-sound: a False verdict comes with the refuting context (in
+    *witness*); a True verdict only covers the contexts supplied.
+    """
+    for ctx in contexts:
+        if not relation(ctx.fill(p), ctx.fill(q)):
+            if witness is not None:
+                witness.append(ctx)
+            return False
+    return True
+
+
+def sensor_fill(p: Process, names: Sequence[Name] | None = None,
+                probe: Name | None = None) -> Process:
+    """Build ``[p + sum_i x_i(y).probe!]`` over the given names.
+
+    This is the inner part of Theorem 3's ``C1`` context: each channel the
+    process might listen on is shadowed by an input summand that converts
+    reception into a fresh barb, making inputs observable.
+    """
+    fns = tuple(names) if names is not None else tuple(sorted(free_names(p)))
+    avoid = set(fns) | set(free_names(p))
+    v = probe or fresh_name(avoid, hint="probe")
+    y = fresh_name(avoid | {v}, hint="y")
+    summands = [p] + [inp(x, (y,), out(v)) for x in fns]
+    return choice(*summands)
+
+
+def fresh_names_for(p: Process, q: Process, n: int,
+                    hint: str = "u") -> tuple[Name, ...]:
+    """n names fresh for both processes."""
+    avoid = set(free_names(p)) | set(free_names(q))
+    outn: list[Name] = []
+    for i in count():
+        if len(outn) == n:
+            break
+        cand = f"{hint}{i}"
+        if cand not in avoid:
+            outn.append(cand)
+            avoid.add(cand)
+    return tuple(outn)
+
+
+def observer_contexts(p: Process, q: Process,
+                      max_components: int = 1) -> Iterator[StaticContext]:
+    """A practical finite family of observer contexts for refutation.
+
+    Components: for each free channel of p, q — a sender (nullary or with
+    fresh payload, per the channel's arity in use) and a forwarding
+    listener that re-broadcasts receipt on a fresh probe channel.
+    """
+    from ..core.semantics import input_capabilities
+
+    fns = sorted(free_names(p) | free_names(q))
+    probe, payload, x = fresh_names_for(p, q, 3, hint="obs")
+    arities: dict[Name, set[int]] = {}
+    for proc in (p, q):
+        try:
+            for chan, k in input_capabilities(proc):
+                arities.setdefault(chan, set()).add(k)
+        except ValueError:
+            pass
+    components: list[Process] = []
+    for chan in fns:
+        for k in sorted(arities.get(chan, {0}) | {0}):
+            components.append(out(chan, *([payload] * k), cont=out(probe)))
+            params = tuple(f"{x}{i}" for i in range(k))
+            components.append(inp(chan, params, out(probe)))
+            components.append(inp(chan, params, cont=NIL))
+    yield from static_contexts(components, fns[:2], max_components)

@@ -1,0 +1,83 @@
+"""Generic greatest-fixpoint solver for bisimulation games.
+
+Labelled bisimilarity cannot use plain partition refinement: labels carry
+names, bound outputs must pick extruded names fresh *for the pair being
+compared*, and the input clause quantifies over received vectors relative
+to the pair's free names.  So the checkers build an AND-OR *pair graph*:
+
+* a node is a (canonicalized) pair of processes;
+* each node carries *challenges* — one per move of either component that
+  the definition requires to be answered;
+* a challenge lists its *candidate* successor nodes (the admissible
+  answers).
+
+A node "survives" iff every challenge has at least one surviving candidate;
+the greatest fixpoint (computed by iterated removal with reverse-dependency
+propagation) is exactly the largest bisimulation restricted to reachable
+pairs, so the roots survive iff the processes are bisimilar.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable
+
+from ..core.reduction import StateSpaceExceeded
+
+#: A challenge is a list of candidate successor pair-keys.
+Challenge = list[Hashable]
+
+#: Given a pair key, produce its challenges.
+ChallengeFn = Callable[[Hashable], Iterable[Challenge]]
+
+DEFAULT_MAX_PAIRS = 50_000
+
+
+def solve_game(root: Hashable, challenges_of: ChallengeFn,
+               max_pairs: int = DEFAULT_MAX_PAIRS) -> bool:
+    """Return True iff *root* is in the greatest fixpoint of the game."""
+    # Phase 1: explore the pair graph.
+    challenge_table: dict[Hashable, list[Challenge]] = {}
+    queue: deque[Hashable] = deque([root])
+    while queue:
+        key = queue.popleft()
+        if key in challenge_table:
+            continue
+        if len(challenge_table) >= max_pairs:
+            raise StateSpaceExceeded(f"game exceeds {max_pairs} pairs")
+        chals = [list(dict.fromkeys(c)) for c in challenges_of(key)]
+        challenge_table[key] = chals
+        for c in chals:
+            for nxt in c:
+                if nxt not in challenge_table:
+                    queue.append(nxt)
+
+    # Phase 2: greatest fixpoint by iterated removal.
+    alive: set[Hashable] = set(challenge_table)
+    # reverse dependencies: candidate -> list of (node, challenge index)
+    rdeps: dict[Hashable, list[tuple[Hashable, int]]] = {}
+    remaining: dict[tuple[Hashable, int], int] = {}
+    dead: deque[Hashable] = deque()
+    for node, chals in challenge_table.items():
+        failed = False
+        for ci, cands in enumerate(chals):
+            live_cands = [c for c in cands if c in alive]
+            remaining[(node, ci)] = len(live_cands)
+            if not live_cands:
+                failed = True
+            for cand in live_cands:
+                rdeps.setdefault(cand, []).append((node, ci))
+        if failed:
+            dead.append(node)
+    while dead:
+        node = dead.popleft()
+        if node not in alive:
+            continue
+        alive.discard(node)
+        for dep_node, ci in rdeps.get(node, ()):
+            if dep_node not in alive:
+                continue
+            remaining[(dep_node, ci)] -= 1
+            if remaining[(dep_node, ci)] == 0:
+                dead.append(dep_node)
+    return root in alive

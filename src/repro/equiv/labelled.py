@@ -1,0 +1,254 @@
+"""Labelled bisimilarity (Definitions 7 and 8).
+
+A symmetric S is a **strong bisimulation** when, for (p, q) in S:
+
+1. p -tau-> p'                    implies q -tau-> q'            , (p',q') in S
+2. p -nu b~ a<c~>-> p', b~ fresh  implies q -same action-> q'    , (p',q') in S
+   (free outputs are the b~ = {} case)
+3. p -a(b~)?-> p'                 implies q -a(b~)?-> q'         , (p',q') in S
+
+where ``-a(b~)?->`` is *input-or-discard*: either a genuine early input or,
+when the process discards a, the identity move.  Clause 3 is the broadcast
+signature: a process that ignores a message may be matched by one that
+receives it and stays equivalent ("noisy" matching).
+
+The **weak** version answers with ``==> alpha ==>`` (and ``==>`` for tau);
+the input-or-discard answer is ``==> -a(b~)?-> ==>``.
+
+Checking is a greatest-fixpoint game over pairs (see :mod:`.game`).  Per
+pair, extruded names are canonicalized to the first ``_e<i>`` names fresh
+for both sides, and input vectors range over fn(pair) plus as many fresh
+``_f<i>`` names as the input arity — the standard finitization, complete on
+the image-finite fragment the paper's Theorem 1 addresses.
+"""
+
+from __future__ import annotations
+
+from itertools import count, product
+
+from ..core.actions import OutputAction, TauAction
+from ..core.canonical import canonical_state
+from ..core.discard import discards
+from ..core.freenames import free_names
+from ..core.names import Name
+from ..core.reduction import StateSpaceExceeded
+from ..core.semantics import (
+    freshen_action_binders,
+    input_capabilities,
+    input_continuations,
+    step_transitions,
+)
+from ..core.substitution import apply_subst
+from ..core.syntax import Process
+from .game import DEFAULT_MAX_PAIRS, solve_game
+
+#: Cap on distinct fresh names offered per input position.
+MAX_FRESH_PER_INPUT = 3
+
+PairKey = tuple[Process, Process]
+
+
+def _pair_key(p: Process, q: Process) -> PairKey:
+    return (canonical_state(p), canonical_state(q))
+
+
+def _canonical_binder_names(n: int, avoid: frozenset[Name]) -> tuple[Name, ...]:
+    names = []
+    it = (f"_e{i}" for i in count())
+    for _ in range(n):
+        name = next(x for x in it if x not in avoid)
+        names.append(name)
+    return tuple(names)
+
+
+def _canonicalize_output(action: OutputAction, target: Process,
+                         avoid: frozenset[Name]) -> tuple[OutputAction, Process]:
+    """Rename binders to canonical ``_e<i>`` names fresh for *avoid*."""
+    if not action.binders:
+        return action, target
+    # First move binders out of the way of the canonical names and avoid.
+    action, target = freshen_action_binders(action, target, avoid)
+    canon = _canonical_binder_names(
+        len(action.binders), avoid | set(action.objects))
+    mapping = dict(zip(action.binders, canon))
+    new_action = OutputAction(action.chan,
+                              tuple(mapping.get(o, o) for o in action.objects),
+                              canon)
+    return new_action, apply_subst(target, mapping)
+
+
+def _output_shape(action: OutputAction) -> tuple:
+    """Label shape with binder occurrences abstracted positionally."""
+    idx = {b: i for i, b in enumerate(action.binders)}
+    return (action.chan, tuple(
+        ("bound", idx[o]) if o in idx else ("free", o) for o in action.objects))
+
+
+def _outputs(p: Process) -> list[tuple[OutputAction, Process]]:
+    return [(a, t) for a, t in step_transitions(p)
+            if isinstance(a, OutputAction)]
+
+
+def _taus(p: Process) -> list[Process]:
+    return [t for a, t in step_transitions(p) if isinstance(a, TauAction)]
+
+
+def _align_output(action: OutputAction, target: Process,
+                  reference: OutputAction) -> Process | None:
+    """If *action* has the same shape as *reference*, return *target* with
+    its binders renamed to the reference's; otherwise None."""
+    if _output_shape(action) != _output_shape(reference):
+        return None
+    if not reference.binders:
+        return target
+    action, target = freshen_action_binders(
+        action, target, frozenset(reference.binders))
+    mapping = dict(zip(action.binders, reference.binders))
+    return apply_subst(target, mapping)
+
+
+def _input_moves(p: Process, chan: Name, values: tuple[Name, ...]) -> list[Process]:
+    """The ``-chan(values)?->`` moves: early inputs plus the discard-move."""
+    moves = list(input_continuations(p, chan, values))
+    if discards(p, chan):
+        moves.append(p)
+    return moves
+
+
+def _tau_closure(p: Process, max_states: int) -> tuple[Process, ...]:
+    """All q with p ==> q (bounded)."""
+    seen = {canonical_state(p): p}
+    stack = [p]
+    while stack:
+        q = stack.pop()
+        for t in _taus(q):
+            key = canonical_state(t)
+            if key not in seen:
+                if len(seen) >= max_states:
+                    raise StateSpaceExceeded(
+                        f"tau closure exceeds {max_states} states")
+                seen[key] = t
+                stack.append(t)
+    return tuple(seen.values())
+
+
+def _pair_universe(p: Process, q: Process, arity: int) -> list[tuple[Name, ...]]:
+    """Input vectors to offer the pair: fn(p,q) plus fresh names."""
+    known = sorted(free_names(p) | free_names(q))
+    n_fresh = min(arity, MAX_FRESH_PER_INPUT)
+    fresh = []
+    it = (f"_f{i}" for i in count())
+    while len(fresh) < n_fresh:
+        cand = next(it)
+        if cand not in known:
+            fresh.append(cand)
+    return list(product(known + fresh, repeat=arity))
+
+
+def _io_subjects(p: Process, q: Process) -> list[tuple[Name, int]]:
+    """(channel, arity) pairs on which at least one side is listening."""
+    return sorted(input_capabilities(p) | input_capabilities(q))
+
+
+class _LabelledGame:
+    """Challenge generator shared by the strong and weak checkers."""
+
+    def __init__(self, weak: bool, max_states: int):
+        self.weak = weak
+        self.max_states = max_states
+
+    # --- weak answer machinery ------------------------------------------
+    def _answer_taus(self, q: Process) -> list[Process]:
+        if not self.weak:
+            return _taus(q)
+        return list(_tau_closure(q, self.max_states))
+
+    def _answer_outputs(self, q: Process, reference: OutputAction,
+                        avoid: frozenset[Name]) -> list[Process]:
+        """All q' answering the output challenge *reference*."""
+        answers: list[Process] = []
+        starts = _tau_closure(q, self.max_states) if self.weak else (q,)
+        for q1 in starts:
+            for action, q2 in _outputs(q1):
+                aligned = _align_output(action, q2, reference)
+                if aligned is None:
+                    continue
+                if self.weak:
+                    answers.extend(_tau_closure(aligned, self.max_states))
+                else:
+                    answers.append(aligned)
+        return answers
+
+    def _answer_inputs(self, q: Process, chan: Name,
+                       values: tuple[Name, ...]) -> list[Process]:
+        """All q' answering the input-or-discard challenge."""
+        if not self.weak:
+            return _input_moves(q, chan, values)
+        answers: list[Process] = []
+        for q1 in _tau_closure(q, self.max_states):
+            for q2 in _input_moves(q1, chan, values):
+                answers.extend(_tau_closure(q2, self.max_states))
+        return answers
+
+    # --- challenges ------------------------------------------------------
+    def challenges(self, key: PairKey) -> list[list[PairKey]]:
+        p, q = key
+        out: list[list[PairKey]] = []
+        for x, y, mk in ((p, q, lambda a, b: _pair_key(a, b)),
+                         (q, p, lambda a, b: _pair_key(b, a))):
+            out.extend(self._one_sided(x, y, mk))
+        return out
+
+    def _one_sided(self, x: Process, y: Process, mk) -> list[list[PairKey]]:
+        chals: list[list[PairKey]] = []
+        fn_pair = free_names(x) | free_names(y)
+        # Clause 1: tau challenges.
+        y_taus = None
+        for x1 in _taus(x):
+            if y_taus is None:
+                y_taus = self._answer_taus(y)
+            chals.append([mk(x1, y1) for y1 in y_taus])
+        # Clause 2: output challenges (free outputs are binderless).
+        for action, x1 in _outputs(x):
+            ref, x1 = _canonicalize_output(action, x1, fn_pair)
+            answers = self._answer_outputs(y, ref, fn_pair)
+            chals.append([mk(x1, y1) for y1 in answers])
+        # Clause 3: input-or-discard challenges.
+        for chan, arity in _io_subjects(x, y):
+            for values in _pair_universe(x, y, arity):
+                x_moves = _input_moves(x, chan, values)
+                if not x_moves:
+                    # x neither receives nor discards at this arity
+                    # (cross-sorted pair): x has no a(b~)? move to answer.
+                    continue
+                answers = self._answer_inputs(y, chan, values)
+                for x1 in x_moves:
+                    chals.append([mk(x1, y1) for y1 in answers])
+        return chals
+
+
+def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
+                       max_pairs: int = DEFAULT_MAX_PAIRS,
+                       max_states: int = 5_000) -> bool:
+    """Decide strong (``p ~ q``) or weak (``p ~~ q``) labelled bisimilarity."""
+    game = _LabelledGame(weak, max_states)
+    cache: dict[PairKey, list[list[PairKey]]] = {}
+
+    def challenges_of(key: PairKey) -> list[list[PairKey]]:
+        got = cache.get(key)
+        if got is None:
+            got = game.challenges(key)
+            cache[key] = got
+        return got
+
+    return solve_game(_pair_key(p, q), challenges_of, max_pairs)
+
+
+def strong_bisimilar(p: Process, q: Process, **kw) -> bool:
+    """``p ~ q`` (Definition 8)."""
+    return labelled_bisimilar(p, q, weak=False, **kw)
+
+
+def weak_bisimilar(p: Process, q: Process, **kw) -> bool:
+    """``p ~~ q`` (Definition 7)."""
+    return labelled_bisimilar(p, q, weak=True, **kw)

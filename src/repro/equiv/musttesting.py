@@ -1,0 +1,94 @@
+"""Must-testing for broadcasting processes (testing-theory extension).
+
+``p must O``: *every* maximal autonomous run of ``p | O`` reaches a state
+offering the success broadcast.  Failure modes: a quiescent composite that
+never succeeded, or a divergence (a reachable cycle) avoiding success.
+
+Decided exactly on the bounded collapsed state graph: success states are
+absorbing; the experiment fails iff the non-success subgraph reachable
+from the start contains a dead end or a cycle.
+
+The broadcast twist mirrors may-testing's: observers cannot refuse
+broadcasts, so ``a!.(b! + c!) must (hear a; hear b; succeed)`` fails while
+the may-variant passes — internal choice is visible to must, invisible to
+may (both directions are exercised in the tests).
+"""
+
+from __future__ import annotations
+
+from ..core.canonical import canonical_state_collapsed
+from ..core.names import Name
+from ..core.reduction import StateSpaceExceeded, barbs, step_successors_closed
+from ..core.syntax import Par, Process
+from .maytesting import SUCCESS, observer_family
+
+
+def must_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
+              max_states: int = 20_000) -> bool:
+    """Does every maximal run of ``p | observer`` reach a *success* state?
+
+    Raises :class:`StateSpaceExceeded` when the (collapsed) graph exceeds
+    the budget — must-verdicts cannot be truncated soundly.
+    """
+    start = canonical_state_collapsed(Par(p, observer))
+    if success in barbs(start):
+        return True
+    # DFS over the non-success subgraph; any cycle or dead end = failure.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[Process, int] = {start: GREY}
+    stack: list[tuple[Process, list[Process], int]] = []
+
+    def expand(state: Process) -> list[Process]:
+        out = []
+        for t in step_successors_closed(state):
+            out.append(canonical_state_collapsed(t))
+        return out
+
+    succs = expand(start)
+    if not succs:
+        return False  # quiescent, never succeeded
+    stack.append((start, succs, 0))
+    while stack:
+        state, succs, idx = stack.pop()
+        if idx >= len(succs):
+            colour[state] = BLACK
+            continue
+        stack.append((state, succs, idx + 1))
+        nxt = succs[idx]
+        if success in barbs(nxt):
+            continue  # success is absorbing: this branch passed
+        c = colour.get(nxt, WHITE)
+        if c == GREY:
+            return False  # divergence avoiding success
+        if c == BLACK:
+            continue
+        if len(colour) >= max_states:
+            raise StateSpaceExceeded(
+                f"must-testing graph exceeds {max_states} states")
+        colour[nxt] = GREY
+        nxt_succs = expand(nxt)
+        if not nxt_succs:
+            return False  # dead end without success
+        stack.append((nxt, nxt_succs, 0))
+    return True
+
+
+def must_preorder_sampled(p: Process, q: Process, *, success: Name = SUCCESS,
+                          observers: list[Process] | None = None,
+                          max_states: int = 20_000,
+                          witness: list | None = None) -> bool:
+    """``p <=must q`` over the sampled observer family."""
+    obs = observers if observers is not None else observer_family(
+        p, q, success=success)
+    for o in obs:
+        if must_pass(p, o, success=success, max_states=max_states) and \
+                not must_pass(q, o, success=success, max_states=max_states):
+            if witness is not None:
+                witness.append(o)
+            return False
+    return True
+
+
+def must_equivalent_sampled(p: Process, q: Process, **kw) -> bool:
+    """Sampled must-testing equivalence."""
+    return must_preorder_sampled(p, q, **kw) and must_preorder_sampled(q, p, **kw)

@@ -1,0 +1,118 @@
+"""Shared exploration for the reduction-based equivalences.
+
+Barbed (Definition 3) and step (Definition 5) bisimilarity match
+*unlabelled* reductions — ``-tau->`` and ``-phi->`` respectively — plus an
+observability predicate, so both reduce to coarsest-partition refinement
+over an explicit graph.  This module builds those graphs for a *pair* of
+processes at once (shared canonical states are interned together).
+
+Extruded names in ``-phi->`` residuals stay free, as rule (5) dictates —
+this is essential for the paper's counterexamples (Remark 1/2) — and are
+canonically renamed per source state to the first ``_e<i>`` names not free
+there.  The renaming is a sound approximation: in pathological systems that
+drop an extruded name and then extrude again, two bisimilar states may pick
+different canonical names and be needlessly split (a false negative); no
+artifact of the paper hits this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..core.actions import OutputAction, TauAction
+from ..core.canonical import canonical_state
+from ..core.freenames import free_names
+from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.semantics import freshen_action_binders, step_transitions
+from ..core.syntax import Process
+
+DEFAULT_MAX_STATES = 20_000
+
+#: Reserved prefix for canonically renamed extruded names.
+EXTRUSION_PREFIX = "_e"
+
+
+def canonical_extrusion(action: OutputAction, target: Process,
+                        source_free: frozenset[str]) -> Process:
+    """Rename the binders of a bound output to canonical ``_e<i>`` names
+    (the first ones not free in the source state) and return the residual
+    with those names free."""
+    if not action.binders:
+        return target
+    fresh_iter = (f"{EXTRUSION_PREFIX}{i}" for i in count())
+    mapping: dict[str, str] = {}
+    taken = set(source_free) | set(action.objects)
+    for b in action.binders:
+        name = next(n for n in fresh_iter if n not in taken)
+        taken.add(name)
+        mapping[b] = name
+    # freshen_action_binders guarantees binders are safe to rename; here we
+    # substitute directly since the canonical names are fresh for target.
+    from ..core.substitution import apply_subst
+    return apply_subst(target, mapping)
+
+
+@dataclass
+class ReductionGraph:
+    """States + unlabelled successor sets + per-state strong barbs."""
+
+    states: list[Process] = field(default_factory=list)
+    index: dict[Process, int] = field(default_factory=dict)
+    successors: list[set[int]] = field(default_factory=list)
+    state_barbs: list[frozenset[str]] = field(default_factory=list)
+
+    def intern(self, p: Process) -> tuple[int, bool]:
+        c = canonical_state(p)
+        sid = self.index.get(c)
+        if sid is not None:
+            return sid, False
+        sid = len(self.states)
+        self.index[c] = sid
+        self.states.append(c)
+        self.successors.append(set())
+        self.state_barbs.append(barbs(c))
+        return sid, True
+
+    def frozen_successors(self) -> list[frozenset[int]]:
+        return [frozenset(s) for s in self.successors]
+
+
+def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
+                          max_states: int = DEFAULT_MAX_STATES,
+                          ) -> tuple[ReductionGraph, tuple[int, ...]]:
+    """Explore the tau-graph (``steps=False``) or phi-graph (``steps=True``)
+    from all *roots* into one shared :class:`ReductionGraph`."""
+    graph = ReductionGraph()
+    queue: deque[int] = deque()
+    root_ids = []
+    for r in roots:
+        sid, fresh = graph.intern(r)
+        root_ids.append(sid)
+        if fresh:
+            queue.append(sid)
+    while queue:
+        sid = queue.popleft()
+        state = graph.states[sid]
+        for action, target in step_transitions(state):
+            if isinstance(action, TauAction):
+                pass  # always followed
+            elif not steps:
+                continue  # barbed graph: tau only
+            else:
+                assert isinstance(action, OutputAction)
+                if action.binders:
+                    action, target = freshen_action_binders(
+                        action, target, free_names(state))
+                    target = canonical_extrusion(
+                        action, target, free_names(state))
+            if len(graph.states) >= max_states and \
+                    canonical_state(target) not in graph.index:
+                raise StateSpaceExceeded(
+                    f"reduction graph exceeds {max_states} states")
+            tid, fresh = graph.intern(target)
+            graph.successors[sid].add(tid)
+            if fresh:
+                queue.append(tid)
+    return graph, tuple(root_ids)

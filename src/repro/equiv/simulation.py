@@ -1,0 +1,47 @@
+"""Strong and weak simulation preorders (one-sided bisimulation).
+
+``p <= q`` ("q simulates p"): every move of *p* — tau, binder-aligned
+output, or input-or-discard — can be answered by *q*, with the successors
+again in the relation.  The preorder is coarser than bisimilarity (which
+is simulation in both directions *jointly*, strictly finer than mutual
+simulation) and handy for refinement-style arguments about the paper's
+examples (e.g. a detector with fewer edges simulates into one with more).
+
+Implementation: the same greatest-fixpoint pair game as the labelled
+checker, with only the left-to-right challenge family.
+"""
+
+from __future__ import annotations
+
+from ..core.syntax import Process
+from .game import DEFAULT_MAX_PAIRS, solve_game
+from .labelled import _LabelledGame, _pair_key
+
+
+class _SimulationGame(_LabelledGame):
+    """One-sided variant: only p's moves generate challenges."""
+
+    def challenges(self, key):
+        p, q = key
+        return self._one_sided(p, q, lambda a, b: _pair_key(a, b))
+
+
+def simulates(q: Process, p: Process, *, weak: bool = False,
+              max_pairs: int = DEFAULT_MAX_PAIRS,
+              max_states: int = 5_000) -> bool:
+    """True iff *q* simulates *p* (``p <= q``)."""
+    game = _SimulationGame(weak, max_states)
+    cache: dict = {}
+
+    def challenges_of(key):
+        got = cache.get(key)
+        if got is None:
+            got = cache[key] = game.challenges(key)
+        return got
+
+    return solve_game(_pair_key(p, q), challenges_of, max_pairs)
+
+
+def similar(p: Process, q: Process, **kw) -> bool:
+    """Mutual simulation (coarser than bisimilarity)."""
+    return simulates(q, p, **kw) and simulates(p, q, **kw)

@@ -1,0 +1,49 @@
+"""Step (phi-) bisimilarity (Definition 5) and step equivalence (Def. 6).
+
+Step bisimulation observes the *autonomous step* relation ``-phi->`` —
+any output or tau, unlabelled — which Section 3.2 argues is the real
+reduction of a broadcast calculus (a sender never waits).  A symmetric S is
+a strong step-bisimulation when, for (p,q) in S:
+
+* p -phi-> p'  implies  q -phi-> q' with (p',q') in S;
+* p |down a    implies  q |down a.
+
+The weak variant matches against ``(-phi->)*`` and the phi-weak barb.
+Decided by partition refinement over the shared phi-graph (see
+``reduction_graph`` for how extruded names are handled).
+"""
+
+from __future__ import annotations
+
+from ..core.syntax import Process
+from ..lts.partition import coarsest_partition
+from ..lts.weak import reachability_closure, weak_keys
+from .reduction_graph import DEFAULT_MAX_STATES, build_reduction_graph
+
+
+def strong_step_bisimilar(p: Process, q: Process,
+                          max_states: int = DEFAULT_MAX_STATES) -> bool:
+    """Decide ``p ~phi q`` (strong step-bisimilarity)."""
+    graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
+                                            max_states=max_states)
+    block = coarsest_partition(graph.frozen_successors(), graph.state_barbs)
+    return block[rp] == block[rq]
+
+
+def weak_step_bisimilar(p: Process, q: Process,
+                        max_states: int = DEFAULT_MAX_STATES) -> bool:
+    """Decide ``p ~~phi q`` (weak step-bisimilarity)."""
+    graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
+                                            max_states=max_states)
+    closure = reachability_closure(graph.frozen_successors())
+    keys = weak_keys(closure, graph.state_barbs)
+    block = coarsest_partition(closure, keys)
+    return block[rp] == block[rq]
+
+
+def step_bisimilar(p: Process, q: Process, *, weak: bool = False,
+                   max_states: int = DEFAULT_MAX_STATES) -> bool:
+    """Dispatch on *weak*."""
+    if weak:
+        return weak_step_bisimilar(p, q, max_states)
+    return strong_step_bisimilar(p, q, max_states)

@@ -1,0 +1,185 @@
+"""Explicit finite LTS graphs built from process terms.
+
+States are processes quotiented by :func:`repro.core.canonical.canonical_state`
+(a sound approximation of structural congruence — imperfect identification
+costs duplicate states, never wrong answers).  Exploration is bounded; the
+paper's recursive examples are semantically finite-state only up to such
+quotienting.
+
+Two graph flavours are built on one core:
+
+* :func:`build_step_lts` — the autonomous ``-phi->`` graph (outputs + tau,
+  labels kept), enough for barbed and step bisimilarity and for
+  reachability analyses of closed systems.
+* :func:`build_full_lts` — adds early-input transitions instantiated over a
+  :class:`~repro.core.names.NameUniverse`; used by benchmarks and the
+  simulator when the environment can inject messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.actions import Action, InputAction, OutputAction, TauAction
+from ..core.canonical import canonical_state
+from ..core.freenames import free_names
+from ..core.names import NameUniverse
+from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.semantics import (
+    input_capabilities,
+    input_continuations,
+    step_transitions,
+)
+from ..core.syntax import Process, Restrict
+
+DEFAULT_MAX_STATES = 20_000
+
+
+@dataclass
+class LTS:
+    """An explicit labelled transition system over canonical process states."""
+
+    states: list[Process] = field(default_factory=list)
+    index: dict[Process, int] = field(default_factory=dict)
+    edges: list[list[tuple[Action, int]]] = field(default_factory=list)
+
+    def add_state(self, p: Process) -> int:
+        """Intern canonical state *p*, returning its id."""
+        sid = self.index.get(p)
+        if sid is None:
+            sid = len(self.states)
+            self.index[p] = sid
+            self.states.append(p)
+            self.edges.append([])
+        return sid
+
+    def add_edge(self, src: int, action: Action, dst: int) -> None:
+        self.edges[src].append((action, dst))
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(e) for e in self.edges)
+
+    def successors(self, sid: int, *, tau_only: bool = False) -> list[int]:
+        """Target ids of outgoing edges (optionally tau edges only)."""
+        return [dst for act, dst in self.edges[sid]
+                if not tau_only or isinstance(act, TauAction)]
+
+    def barbs_of(self, sid: int) -> frozenset[str]:
+        """Strong barbs of a state (outputs available right now)."""
+        return barbs(self.states[sid])
+
+    def __repr__(self) -> str:
+        return f"LTS(states={self.n_states}, edges={self.n_edges})"
+
+
+def _close_binders(action: Action, target: Process) -> Process:
+    """Re-bind extruded names around a bound-output target.
+
+    For *state identity* in reachability-style analyses, the residual of a
+    bound output is considered together with its extruded names still
+    restricted: the environment of a closed system under analysis will have
+    learnt them, but their future behaviour is fully represented by the
+    re-bound form when we only track barbs and steps.
+    """
+    if isinstance(action, OutputAction) and action.binders:
+        q = target
+        for b in reversed(action.binders):
+            q = Restrict(b, q)
+        return q
+    return target
+
+
+def build_step_lts(p: Process,
+                   max_states: int = DEFAULT_MAX_STATES,
+                   close_binders: bool = True) -> tuple[LTS, int]:
+    """Explore the ``-phi->`` graph from *p*; returns (lts, initial id)."""
+    lts = LTS()
+    root = lts.add_state(canonical_state(p))
+    queue = deque([root])
+    expanded: set[int] = set()
+    while queue:
+        sid = queue.popleft()
+        if sid in expanded:
+            continue
+        expanded.add(sid)
+        state = lts.states[sid]
+        for action, target in step_transitions(state):
+            if close_binders:
+                target = _close_binders(action, target)
+            tgt = canonical_state(target)
+            known = tgt in lts.index
+            if not known and lts.n_states >= max_states:
+                raise StateSpaceExceeded(
+                    f"step LTS exceeds {max_states} states")
+            tid = lts.add_state(tgt)
+            lts.add_edge(sid, action, tid)
+            if not known:
+                queue.append(tid)
+    return lts, root
+
+
+def canonical_output_label(action: OutputAction) -> OutputAction:
+    """Abstract the binder *names* of a bound output out of the label.
+
+    Extruded names are arbitrary; labels become comparable across states by
+    replacing each binder with an indexed placeholder (by first occurrence
+    among the objects).
+    """
+    if not action.binders:
+        return action
+    order = {b: i for i, b in enumerate(action.binders)}
+    placeholders = {b: f"_e{order[b]}" for b in action.binders}
+    return OutputAction(action.chan,
+                        tuple(placeholders.get(o, o) for o in action.objects),
+                        tuple(placeholders[b] for b in action.binders))
+
+
+def build_full_lts(p: Process, universe: NameUniverse | None = None,
+                   max_states: int = DEFAULT_MAX_STATES,
+                   n_fresh: int = 1) -> tuple[LTS, int]:
+    """Explore outputs, taus *and* universe-instantiated inputs from *p*.
+
+    Bound-output labels are canonicalized via
+    :func:`canonical_output_label` and their targets re-bound, keeping the
+    graph finite and labels comparable.
+    """
+    if universe is None:
+        universe = NameUniverse(free_names(p), n_fresh)
+    lts = LTS()
+    root = lts.add_state(canonical_state(p))
+    queue = deque([root])
+    expanded: set[int] = set()
+
+    def intern(target: Process, sid_from: int, action: Action) -> None:
+        tgt = canonical_state(target)
+        known = tgt in lts.index
+        if not known and lts.n_states >= max_states:
+            raise StateSpaceExceeded(f"full LTS exceeds {max_states} states")
+        tid = lts.add_state(tgt)
+        lts.add_edge(sid_from, action, tid)
+        if not known:
+            queue.append(tid)
+
+    while queue:
+        sid = queue.popleft()
+        if sid in expanded:
+            continue
+        expanded.add(sid)
+        state = lts.states[sid]
+        for action, target in step_transitions(state):
+            if isinstance(action, OutputAction) and action.binders:
+                intern(_close_binders(action, target), sid,
+                       canonical_output_label(action))
+            else:
+                intern(target, sid, action)
+        for chan, arity in sorted(input_capabilities(state)):
+            for values in universe.vectors(arity):
+                for target in input_continuations(state, chan, values):
+                    intern(target, sid, InputAction(chan, values))
+    return lts, root

@@ -1,0 +1,49 @@
+"""Relational coarsest partition (Kanellakis–Smolka style) refinement.
+
+Used by the barbed- and step-bisimilarity checkers, whose clauses match
+*unlabelled* reductions plus an observability predicate: states start
+partitioned by their observability key and blocks are split until every
+state in a block reaches exactly the same set of blocks.
+
+For the weak variants the caller passes saturated successor sets (the
+reflexive-transitive closure of the reduction), which turns weak
+bisimilarity into strong bisimilarity on the saturated system.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def coarsest_partition(successors: Sequence[frozenset[int]],
+                       initial_keys: Sequence[Hashable]) -> list[int]:
+    """Compute the coarsest partition refining *initial_keys* and stable
+    under the successor relation.
+
+    ``successors[i]`` is the set of states reachable from state *i* in one
+    (possibly saturated) reduction.  Returns a block id per state; two
+    states are bisimilar iff they get the same block id.
+    """
+    n = len(successors)
+    if len(initial_keys) != n:
+        raise ValueError("initial_keys and successors must align")
+    # Initial blocks from the observability keys.
+    key_ids: dict[Hashable, int] = {}
+    block = [key_ids.setdefault(k, len(key_ids)) for k in initial_keys]
+    while True:
+        signatures: dict[tuple, int] = {}
+        new_block = [0] * n
+        for i in range(n):
+            sig = (block[i], frozenset(block[j] for j in successors[i]))
+            new_block[i] = signatures.setdefault(sig, len(signatures))
+        if new_block == block:
+            return block
+        block = new_block
+
+
+def partition_relates(successors: Sequence[frozenset[int]],
+                      initial_keys: Sequence[Hashable],
+                      a: int, b: int) -> bool:
+    """Convenience: are states *a* and *b* in the same final block?"""
+    block = coarsest_partition(successors, initial_keys)
+    return block[a] == block[b]

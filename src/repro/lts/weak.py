@@ -1,0 +1,41 @@
+"""Saturation utilities: reflexive-transitive closures over explicit LTSs.
+
+Weak equivalences are checked as strong ones over saturated successor
+relations; these helpers compute the closures once per graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def reachability_closure(successors: Sequence[frozenset[int]]) -> list[frozenset[int]]:
+    """Reflexive-transitive closure of a successor relation.
+
+    Plain iterative BFS per state; graphs here are small (thousands of
+    states) and the closure is computed once, so asymptotic heroics are not
+    warranted (profile first — see the benchmarks).
+    """
+    n = len(successors)
+    closed: list[frozenset[int]] = [frozenset()] * n
+    for start in range(n):
+        seen = {start}
+        stack = [start]
+        while stack:
+            s = stack.pop()
+            for t in successors[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        closed[start] = frozenset(seen)
+    return closed
+
+
+def weak_keys(closure: Sequence[frozenset[int]],
+              strong_keys: Sequence[frozenset]) -> list[frozenset]:
+    """Weak observability keys: union of strong keys over the closure.
+
+    E.g. weak barbs ``p |Down a  iff  exists p' in closure(p). p' |down a``.
+    """
+    return [frozenset().union(*(strong_keys[t] for t in closure[s]))
+            for s in range(len(closure))]

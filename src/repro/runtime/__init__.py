@@ -1,0 +1,25 @@
+"""Seeded execution and reachability analyses of closed broadcast systems."""
+
+from .analysis import (
+    can_diverge,
+    eventually_always,
+    find_quiescent,
+    invariant_holds,
+    reachable_states,
+)
+from .simulator import (
+    Policy,
+    random_policy,
+    round_robin_policy,
+    run,
+    run_until_quiescent,
+    sample_runs,
+)
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "can_diverge", "eventually_always", "find_quiescent",
+    "invariant_holds", "reachable_states",
+    "Policy", "random_policy", "round_robin_policy", "run",
+    "run_until_quiescent", "sample_runs", "Trace", "TraceEvent",
+]

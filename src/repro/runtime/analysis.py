@@ -1,0 +1,128 @@
+"""Reachability-style analyses for closed broadcast systems.
+
+Generic verification queries over the collapsed state graph, shared by the
+applications and usable on any closed term:
+
+* :func:`reachable_states` — the bounded state set;
+* :func:`find_quiescent` — reachable deadlocks (no autonomous step);
+* :func:`can_diverge` — is there a reachable tau-only cycle?
+* :func:`invariant_holds` — check a state predicate over all reachable
+  states, with a counterexample witness;
+* :func:`eventually_always` — after quiescence, does the predicate hold?
+
+All queries treat the system as closed (extrusions re-bound) and use the
+duplicate-collapse quotient by default (sound for reachability; see
+``repro.core.canonical``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from ..core.actions import TauAction
+from ..core.canonical import canonical_state, canonical_state_collapsed
+from ..core.reduction import StateSpaceExceeded
+from ..core.semantics import step_transitions
+from ..core.syntax import Process, Restrict
+
+Predicate = Callable[[Process], bool]
+
+
+def _canon(collapse: bool):
+    return canonical_state_collapsed if collapse else canonical_state
+
+
+def _closed_successors(state: Process) -> Iterator[tuple[bool, Process]]:
+    """(is_tau, successor) pairs with extrusions re-bound."""
+    for action, target in step_transitions(state):
+        if getattr(action, "binders", ()):
+            for b in reversed(action.binders):
+                target = Restrict(b, target)
+        yield isinstance(action, TauAction), target
+
+
+def reachable_states(p: Process, *, max_states: int = 50_000,
+                     collapse: bool = True) -> list[Process]:
+    """All reachable canonical states (BFS, bounded)."""
+    canon = _canon(collapse)
+    start = canon(p)
+    seen = {start}
+    queue = deque([start])
+    order = [start]
+    while queue:
+        state = queue.popleft()
+        for _, target in _closed_successors(state):
+            key = canon(target)
+            if key in seen:
+                continue
+            if len(seen) >= max_states:
+                raise StateSpaceExceeded(
+                    f"reachable set exceeds {max_states} states")
+            seen.add(key)
+            order.append(key)
+            queue.append(key)
+    return order
+
+
+def find_quiescent(p: Process, **kw) -> list[Process]:
+    """Reachable states with no autonomous step (deadlocks/termination)."""
+    return [s for s in reachable_states(p, **kw)
+            if not step_transitions(s)]
+
+
+def can_diverge(p: Process, *, max_states: int = 50_000,
+                collapse: bool = True) -> bool:
+    """Is a tau-only cycle reachable?  (Infinite internal chatter.)"""
+    canon = _canon(collapse)
+    states = reachable_states(p, max_states=max_states, collapse=collapse)
+    index = {s: i for i, s in enumerate(states)}
+    tau_succ: list[list[int]] = [[] for _ in states]
+    for s in states:
+        for is_tau, target in _closed_successors(s):
+            if is_tau:
+                tau_succ[index[s]].append(index[canon(target)])
+    # cycle detection in the tau-subgraph
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * len(states)
+    for root in range(len(states)):
+        if colour[root] != WHITE:
+            continue
+        stack = [(root, iter(tau_succ[root]))]
+        colour[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            nxt = next(it, None)
+            if nxt is None:
+                colour[node] = BLACK
+                stack.pop()
+                continue
+            if colour[nxt] == GREY:
+                return True
+            if colour[nxt] == WHITE:
+                colour[nxt] = GREY
+                stack.append((nxt, iter(tau_succ[nxt])))
+    return False
+
+
+def invariant_holds(p: Process, predicate: Predicate, *,
+                    max_states: int = 50_000, collapse: bool = True,
+                    witness: list | None = None) -> bool:
+    """Does *predicate* hold in every reachable state?"""
+    for s in reachable_states(p, max_states=max_states, collapse=collapse):
+        if not predicate(s):
+            if witness is not None:
+                witness.append(s)
+            return False
+    return True
+
+
+def eventually_always(p: Process, predicate: Predicate, *,
+                      max_states: int = 50_000, collapse: bool = True) -> bool:
+    """Does *predicate* hold in every reachable *quiescent* state?
+
+    Vacuously true when the system never quiesces within the bound.
+    """
+    return all(predicate(s)
+               for s in find_quiescent(p, max_states=max_states,
+                                       collapse=collapse))

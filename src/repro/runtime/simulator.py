@@ -1,0 +1,107 @@
+"""A seeded executor for closed broadcast systems.
+
+The paper's examples (cycle detection, transaction managers, PVM groups)
+describe *closed* systems driven entirely by their own ``-phi->`` steps
+(broadcasts and taus).  The simulator repeatedly picks an enabled step
+under a scheduling policy and records the trace.  It is the deterministic,
+reproducible substitute for the distributed runtime the paper informally
+assumes (see DESIGN.md, substitutions).
+
+Policies:
+
+* ``random`` (default) — uniformly random among enabled steps, from a
+  seeded PRNG: reproducible pseudo-fair interleaving;
+* ``round_robin`` — cycles deterministically through enabled step indices;
+* a callable ``(step_index, transitions) -> index`` for custom control.
+
+For *verification*-style questions ("can the detector ever signal o?") use
+:func:`repro.core.reduction.can_reach_barb` — exhaustive bounded search —
+rather than sampling runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..core.actions import OutputAction
+from ..core.canonical import canonical_state
+from ..core.names import Name
+from ..core.semantics import step_transitions
+from ..core.syntax import Process, Restrict
+from .trace import Trace, TraceEvent
+
+Policy = Callable[[int, Sequence], int]
+
+
+def random_policy(seed: int) -> Policy:
+    rng = random.Random(seed)
+
+    def pick(_step: int, transitions: Sequence) -> int:
+        return rng.randrange(len(transitions))
+
+    return pick
+
+
+def round_robin_policy() -> Policy:
+    def pick(step: int, transitions: Sequence) -> int:
+        return step % len(transitions)
+
+    return pick
+
+
+def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
+        policy: Policy | str = "random",
+        stop_on_barb: Name | None = None,
+        rebind_extrusions: bool = True) -> Trace:
+    """Execute *p* for up to *max_steps* autonomous steps.
+
+    ``rebind_extrusions`` keeps the system closed: names extruded by a
+    top-level bound output are re-restricted around the residual (sound for
+    a closed system — there is no environment to remember them — and it
+    keeps states small).  Set ``stop_on_barb`` to end the run as soon as a
+    broadcast on that channel happens (it is recorded first).
+    """
+    if policy == "random":
+        policy_fn: Policy = random_policy(seed)
+    elif policy == "round_robin":
+        policy_fn = round_robin_policy()
+    elif callable(policy):
+        policy_fn = policy
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+
+    trace = Trace()
+    state = p
+    for i in range(max_steps):
+        moves = step_transitions(state)
+        if not moves:
+            trace.quiescent = True
+            break
+        action, target = moves[policy_fn(i, moves)]
+        if rebind_extrusions and isinstance(action, OutputAction) \
+                and action.binders:
+            for b in reversed(action.binders):
+                target = Restrict(b, target)
+        state = canonical_state(target)
+        trace.events.append(TraceEvent(i, action, state.size()))
+        if stop_on_barb is not None and \
+                isinstance(action, OutputAction) and \
+                action.chan == stop_on_barb:
+            break
+    trace.final = state
+    return trace
+
+
+def run_until_quiescent(p: Process, *, seed: int = 0,
+                        max_steps: int = 10_000) -> Trace:
+    """Run to quiescence (or the step budget); convenience wrapper."""
+    return run(p, seed=seed, max_steps=max_steps)
+
+
+def sample_runs(p: Process, *, seeds: Sequence[int],
+                max_steps: int = 1_000,
+                stop_on_barb: Name | None = None) -> list[Trace]:
+    """Independent seeded runs — crude statistical coverage of schedules."""
+    return [run(p, seed=s, max_steps=max_steps, stop_on_barb=stop_on_barb)
+            for s in seeds]

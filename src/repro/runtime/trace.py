@@ -1,0 +1,61 @@
+"""Execution traces of closed broadcast systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.actions import Action, OutputAction, TauAction
+from ..core.names import Name
+from ..core.syntax import Process
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One autonomous step of a run."""
+
+    index: int
+    action: Action
+    state_size: int
+
+    @property
+    def is_broadcast(self) -> bool:
+        return isinstance(self.action, OutputAction)
+
+    def __str__(self) -> str:
+        kind = "tau" if isinstance(self.action, TauAction) else str(self.action)
+        return f"[{self.index:4d}] {kind}"
+
+
+@dataclass
+class Trace:
+    """A (finite prefix of a) run: events plus the final state."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    final: Process | None = None
+    quiescent: bool = False  # True if the run ended with no step available
+
+    @property
+    def steps(self) -> int:
+        return len(self.events)
+
+    def broadcasts(self, chan: Name | None = None) -> list[OutputAction]:
+        """The broadcast actions of the run (optionally on one channel)."""
+        out = [e.action for e in self.events
+               if isinstance(e.action, OutputAction)]
+        if chan is not None:
+            out = [a for a in out if a.chan == chan]
+        return out
+
+    def observed(self, chan: Name) -> bool:
+        """Did the run broadcast on *chan* at least once?"""
+        return any(True for _ in self.broadcasts(chan))
+
+    def payloads(self, chan: Name) -> list[tuple[Name, ...]]:
+        """The object vectors broadcast on *chan*, in order."""
+        return [a.objects for a in self.broadcasts(chan)]
+
+    def __str__(self) -> str:
+        lines = [str(e) for e in self.events]
+        lines.append(f"-- {'quiescent' if self.quiescent else 'step budget hit'}"
+                     f" after {self.steps} steps")
+        return "\n".join(lines)

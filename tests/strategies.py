@@ -1,0 +1,101 @@
+"""Hypothesis strategies for generating random bpi-calculus processes.
+
+All generated processes are closed and *well-sorted* in the simplest
+uniform way: every channel in a generated term has the same arity (0 for
+the CBS-like fragment, 1 for the monadic mobile fragment).  With a single
+uniform sort, any name may be transmitted and later used as a channel
+without breaking the input/discard dichotomy.
+
+Generated terms are finite (no recursion) unless the ``recursive`` variants
+are used; bound names are drawn from a dedicated pool disjoint from the
+free-name pool so that shadowing still occurs (same pool reused) but terms
+stay readable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.syntax import (
+    NIL,
+    Input,
+    Match,
+    Output,
+    Par,
+    Process,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+#: Default pools.  Free and bound pools overlap on purpose: shadowing and
+#: capture are exactly the hard cases.
+FREE_NAMES = ("a", "b", "c")
+BOUND_NAMES = ("x", "y", "z", "a", "b")
+
+
+def names_from(pool: tuple[str, ...]) -> st.SearchStrategy[str]:
+    return st.sampled_from(pool)
+
+
+def finite_processes(arity: int = 0,
+                     free_pool: tuple[str, ...] = FREE_NAMES,
+                     bound_pool: tuple[str, ...] = BOUND_NAMES,
+                     max_leaves: int = 6,
+                     allow_restrict: bool = True,
+                     allow_match: bool = True) -> st.SearchStrategy[Process]:
+    """Closed finite processes where every channel has the given *arity*."""
+
+    def extend(children: st.SearchStrategy[Process]) -> st.SearchStrategy[Process]:
+        # `scope` tracks only the pools; any name from either pool may be
+        # used as a subject/object (bound names used unbound are simply
+        # free names, keeping closure trivial).
+        all_names = st.sampled_from(tuple(dict.fromkeys(free_pool + bound_pool)))
+        options = [
+            st.builds(Tau, children),
+            st.builds(
+                lambda c, ps, k: Input(c, ps[:arity], k),
+                all_names,
+                st.permutations(bound_pool).map(tuple),
+                children),
+            st.builds(
+                lambda c, args, k: Output(c, tuple(args), k),
+                all_names,
+                st.lists(all_names, min_size=arity, max_size=arity),
+                children),
+            st.builds(Sum, children, children),
+            st.builds(Par, children, children),
+        ]
+        if allow_restrict:
+            options.append(st.builds(
+                lambda n, b: Restrict(n, b), names_from(bound_pool), children))
+        if allow_match:
+            options.append(st.builds(
+                lambda l, r, t, e: Match(l, r, t, e),
+                all_names, all_names, children, children))
+        return st.one_of(options)
+
+    return st.recursive(st.just(NIL), extend, max_leaves=max_leaves)
+
+
+#: Nullary (CBS-like) fragment: broadcasts carry no names.
+processes0 = finite_processes(arity=0)
+
+#: Monadic fragment: every broadcast carries exactly one name.
+processes1 = finite_processes(arity=1)
+
+#: Restriction-free, match-free nullary processes — the "simple" fragment
+#: of Section 5.1 (used by axiomatisation tests before nu is added).
+simple_processes0 = finite_processes(arity=0, allow_restrict=False,
+                                     allow_match=False)
+
+#: Monadic simple fragment (Section 5.1 grammar: prefixes, sum, match).
+simple_processes1 = finite_processes(arity=1, allow_restrict=False,
+                                     allow_match=True)
+
+
+def name_substitutions(pool: tuple[str, ...] = FREE_NAMES + ("d",),
+                       ) -> st.SearchStrategy[dict[str, str]]:
+    """Random substitutions over the free-name pool."""
+    return st.dictionaries(st.sampled_from(FREE_NAMES), st.sampled_from(pool),
+                           max_size=len(FREE_NAMES))

@@ -1,0 +1,79 @@
+"""Tests for acceptance sets (the denotational testing semantics)."""
+
+from repro.core.parser import parse
+from repro.equiv.acceptance import (
+    acceptance_equal,
+    acceptance_sets,
+    accepts_refines,
+    is_stable,
+    traces_upto,
+)
+from repro.equiv.labelled import weak_bisimilar
+from repro.equiv.maytesting import output_traces
+
+
+class TestStability:
+    def test_stable(self):
+        assert is_stable(parse("a! + b?"))
+        assert not is_stable(parse("tau.a!"))
+        assert not is_stable(parse("nu a (a! | a?)"))
+
+
+class TestTraces:
+    def test_prefix_closed(self):
+        traces = traces_upto(parse("a!.b!"))
+        assert traces == {(), ("a",), ("a", "b")}
+
+    def test_branching(self):
+        traces = traces_upto(parse("a! + b!"))
+        assert traces == {(), ("a",), ("b",)}
+
+    def test_tau_transparent(self):
+        assert traces_upto(parse("tau.a!")) == {(), ("a",)}
+
+
+class TestAcceptance:
+    def test_deterministic(self):
+        acc = acceptance_sets(parse("a!.b!"), ("a",))
+        assert acc == {frozenset({"b"})}
+
+    def test_internal_choice_splits(self):
+        acc = acceptance_sets(parse("tau.a! + tau.b!"))
+        assert acc == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_external_choice_joint(self):
+        acc = acceptance_sets(parse("a! + b!"))
+        assert acc == {frozenset({"a", "b"})}
+
+    def test_section6_pair_separated(self):
+        # may/traces cannot tell these apart...
+        lhs, rhs = parse("a!.(b! + c!)"), parse("a!.b! + a!.c!")
+        assert output_traces(lhs) == output_traces(rhs)
+        # ...acceptance sets after `a` do:
+        assert acceptance_sets(lhs, ("a",)) == {frozenset({"b", "c"})}
+        assert acceptance_sets(rhs, ("a",)) == {frozenset({"b"}),
+                                                frozenset({"c"})}
+        assert not acceptance_equal(lhs, rhs)
+
+    def test_unstable_states_excluded(self):
+        acc = acceptance_sets(parse("tau.a!"))
+        assert acc == {frozenset({"a"})}
+
+
+class TestRefinement:
+    def test_reflexive(self):
+        p = parse("a!.(b! + c!)")
+        assert accepts_refines(p, p)
+
+    def test_deterministic_refines_nondeterministic(self):
+        nondet = parse("a!.b! + a!.c!")
+        det = parse("a!.(b! + c!)")
+        # det's ready set {b,c} dominates each of nondet's {b}, {c}
+        assert accepts_refines(nondet, det)
+        assert not accepts_refines(det, nondet)
+
+    def test_agrees_with_bisimilarity_positively(self):
+        p = parse("a!.b! | 0")
+        q = parse("a!.b!")
+        assert weak_bisimilar(p, q)
+        assert acceptance_equal(p, q)

@@ -1,0 +1,76 @@
+"""Tests for action labels (Definition 1)."""
+
+import pytest
+
+from repro.core.actions import (
+    TAU,
+    InputAction,
+    OutputAction,
+    TauAction,
+    rename_action,
+)
+
+
+class TestTau:
+    def test_interned(self):
+        assert TauAction() is TAU
+
+    def test_metadata(self):
+        assert TAU.is_tau and TAU.is_step
+        assert not TAU.is_output and not TAU.is_input
+        assert TAU.subject is None
+        assert TAU.free_names() == TAU.bound_names() == frozenset()
+        assert str(TAU) == "tau"
+
+
+class TestInput:
+    def test_fields(self):
+        a = InputAction("ch", ("x", "y"))
+        assert a.subject == "ch"
+        assert a.is_input and not a.is_step
+        assert a.free_names() == {"ch", "x", "y"}
+        assert a.bound_names() == frozenset()
+        assert str(a) == "ch(x, y)"
+
+    def test_equality(self):
+        assert InputAction("a", ("b",)) == InputAction("a", ("b",))
+        assert InputAction("a", ("b",)) != InputAction("a", ("c",))
+        assert InputAction("a", ()) != TAU
+
+
+class TestOutput:
+    def test_free_output(self):
+        a = OutputAction("ch", ("v",))
+        assert a.is_output and a.is_step and not a.is_bound
+        assert a.free_names() == {"ch", "v"}
+        assert str(a) == "ch<v>"
+
+    def test_bound_output(self):
+        a = OutputAction("ch", ("v", "w"), ("w",))
+        assert a.is_bound
+        assert a.free_names() == {"ch", "v"}
+        assert a.bound_names() == {"w"}
+        assert a.names() == {"ch", "v", "w"}
+        assert str(a) == "nu w ch<v, w>"
+
+    def test_binder_validation(self):
+        with pytest.raises(ValueError):
+            OutputAction("ch", ("v",), ("w",))       # binder not an object
+        with pytest.raises(ValueError):
+            OutputAction("ch", ("v", "v"), ("v", "v"))  # duplicate binders
+        with pytest.raises(ValueError):
+            OutputAction("ch", ("ch",), ("ch",))     # subject extruded
+
+
+class TestRename:
+    def test_rename_input(self):
+        a = rename_action(InputAction("a", ("b",)), {"a": "x", "b": "y"})
+        assert a == InputAction("x", ("y",))
+
+    def test_rename_output_with_binders(self):
+        a = rename_action(OutputAction("a", ("v", "w"), ("w",)),
+                          {"w": "z", "v": "u"})
+        assert a == OutputAction("a", ("u", "z"), ("z",))
+
+    def test_rename_tau_identity(self):
+        assert rename_action(TAU, {"a": "b"}) is TAU

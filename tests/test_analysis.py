@@ -1,0 +1,91 @@
+"""Tests for the reachability analyses (runtime.analysis)."""
+
+import pytest
+
+from repro.apps.cycle_detection import prefed_system
+from repro.core.parser import parse
+from repro.core.reduction import StateSpaceExceeded, barbs
+from repro.runtime.analysis import (
+    can_diverge,
+    eventually_always,
+    find_quiescent,
+    invariant_holds,
+    reachable_states,
+)
+
+
+class TestReachable:
+    def test_linear(self):
+        states = reachable_states(parse("a!.b!"))
+        assert len(states) == 3
+
+    def test_collapse_flag(self):
+        p = parse("a! | a!")
+        assert len(reachable_states(p, collapse=True)) \
+            <= len(reachable_states(p, collapse=False))
+
+    def test_budget(self):
+        with pytest.raises(StateSpaceExceeded):
+            reachable_states(parse("tau.tau.tau.tau.0"), max_states=2)
+
+
+class TestQuiescence:
+    def test_terminating(self):
+        [q] = find_quiescent(parse("a!.b!"))
+        assert not barbs(q)
+
+    def test_deadlock_shapes(self):
+        # a receiver with no sender is quiescent immediately
+        quiescent = find_quiescent(parse("a(x).x!"))
+        assert len(quiescent) == 1
+
+    def test_nonterminating_has_none(self):
+        assert find_quiescent(parse("rec X(). tau.X")) == []
+
+
+class TestDivergence:
+    def test_tau_loop(self):
+        assert can_diverge(parse("rec X(). tau.X"))
+
+    def test_finite_system(self):
+        assert not can_diverge(parse("tau.tau.a!"))
+
+    def test_broadcast_loop_is_not_tau_divergence(self):
+        # an infinite broadcast loop is visible activity, not divergence
+        assert not can_diverge(parse("rec X(). a!.X"))
+
+    def test_internalised_loop_diverges(self):
+        assert can_diverge(parse("nu a rec X(). a!.X"))
+
+    def test_encoded_retry_protocols_diverge(self):
+        # the pi-encoding's retry loops are (necessarily) divergent once
+        # the session channel is internal (the retries become tau cycles)
+        from repro.calculi.encodings import pi_to_bpi
+        from repro.core.syntax import Restrict
+        enc = Restrict("a", pi_to_bpi(parse("a<v>.done!")))
+        assert can_diverge(enc, max_states=2_000)
+
+
+class TestInvariants:
+    def test_holds(self):
+        from repro.core.freenames import free_names
+        p = parse("a!.b! | c?")
+        assert invariant_holds(p, lambda s: free_names(s) <= {"a", "b", "c"})
+
+    def test_counterexample(self):
+        witness = []
+        p = parse("a!.b!")
+        ok = invariant_holds(p, lambda s: "b" not in barbs(s),
+                             witness=witness)
+        assert not ok and witness and "b" in barbs(witness[0])
+
+    def test_eventually_always(self):
+        # when the dust settles, nothing is left
+        assert eventually_always(parse("a! | b!"),
+                                 lambda s: s.size() == 1)
+
+    def test_detector_never_false_signals(self):
+        # safety of Example 1 on an acyclic graph, as an invariant
+        system = prefed_system([("a", "b")])
+        assert invariant_holds(system, lambda s: "o" not in barbs(s),
+                               max_states=3_000)

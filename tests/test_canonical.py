@@ -1,0 +1,133 @@
+"""Tests for structural canonical forms (state-identity layer).
+
+The key soundness property: canonicalization preserves one-step behaviour —
+``p`` and ``canonical_state(p)`` have the same barbs, the same discards and
+matching transition sets modulo re-canonicalization of the targets.
+"""
+
+from hypothesis import given
+
+from repro.core.actions import TAU
+from repro.core.canonical import canonical_state
+from repro.core.discard import discards
+from repro.core.freenames import free_names
+from repro.core.parser import parse
+from repro.core.reduction import barbs
+from repro.core.semantics import input_continuations, step_transitions
+from repro.core.substitution import canonical_alpha
+from tests.strategies import processes0, processes1
+
+
+class TestStructuralLaws:
+    def test_par_nil_dropped(self):
+        assert canonical_state(parse("a! | 0")) == canonical_state(parse("a!"))
+
+    def test_par_commutative(self):
+        assert canonical_state(parse("a! | b!")) == canonical_state(parse("b! | a!"))
+
+    def test_par_associative(self):
+        assert canonical_state(parse("(a! | b!) | c!")) == \
+            canonical_state(parse("a! | (b! | c!)"))
+
+    def test_sum_laws(self):
+        assert canonical_state(parse("a! + 0")) == canonical_state(parse("a!"))
+        assert canonical_state(parse("a! + b!")) == canonical_state(parse("b! + a!"))
+        assert canonical_state(parse("a! + a!")) == canonical_state(parse("a!"))
+        assert canonical_state(parse("(a! + b!) + c!")) == \
+            canonical_state(parse("a! + (b! + c!)"))
+
+    def test_unused_restriction_dropped(self):
+        assert canonical_state(parse("nu x a!")) == canonical_state(parse("a!"))
+
+    def test_restriction_reorder(self):
+        assert canonical_state(parse("nu x nu y (x<y>)")) == \
+            canonical_state(parse("nu y nu x (x<y>)"))
+
+    def test_scope_extrusion(self):
+        assert canonical_state(parse("(nu x x<a>) | b!")) == \
+            canonical_state(parse("nu x (x<a> | b!)"))
+
+    def test_scope_extrusion_no_capture(self):
+        # hoisting nu x over a sibling that uses x free must rename
+        p = parse("(nu x x<a>) | x!")
+        c = canonical_state(p)
+        assert free_names(c) == {"a", "x"}
+        assert barbs(c) == barbs(p)
+
+    def test_match_resolved(self):
+        assert canonical_state(parse("[a=a]{b!}{c!}")) == canonical_state(parse("b!"))
+        assert canonical_state(parse("[a=b]{b!}{c!}")) == canonical_state(parse("c!"))
+
+    def test_alpha_quotient(self):
+        assert canonical_state(parse("nu x x<a>")) == canonical_state(parse("nu y y<a>"))
+
+    def test_does_not_touch_continuations(self):
+        # under a prefix, structure is preserved (only alpha-normalised)
+        p = parse("a!.(0 | b!)")
+        c = canonical_state(p)
+        assert c == canonical_alpha(p)
+
+
+@given(processes1)
+def test_idempotent(p):
+    assert canonical_state(canonical_state(p)) == canonical_state(p)
+
+
+@given(processes1)
+def test_preserves_free_names_of_behaviour(p):
+    # canonicalization may drop unused restrictions but never frees or
+    # invents free names
+    assert free_names(canonical_state(p)) <= free_names(p)
+
+
+@given(processes1)
+def test_preserves_barbs_and_discards(p):
+    c = canonical_state(p)
+    assert barbs(c) == barbs(p)
+    for a in sorted(free_names(p) | {"probe"}):
+        assert discards(c, a) == discards(p, a)
+
+
+def _canonical_moves(p):
+    moves = set()
+    for act, target in step_transitions(p):
+        if act is TAU:
+            moves.add((TAU, canonical_state(target)))
+        else:
+            # normalise binder names of bound outputs through alpha on a
+            # wrapper: compare (chan, objects-with-binder-positions)
+            key = (act.chan, tuple(
+                ("?", act.binders.index(o)) if o in act.binders else o
+                for o in act.objects))
+            moves.add((key, canonical_state(_rebind(target, act))))
+    return moves
+
+
+def _rebind(target, act):
+    from repro.core.syntax import Restrict
+    q = target
+    for b in reversed(act.binders):
+        q = Restrict(b, q)
+    return q
+
+
+@given(processes0)
+def test_transitions_preserved_nullary(p):
+    """p and canonical_state(p) have matching step transitions modulo
+    canonicalization (experiment T3 cross-check)."""
+    assert _canonical_moves(p) == _canonical_moves(canonical_state(p))
+
+
+@given(processes1)
+def test_transitions_preserved_monadic(p):
+    assert _canonical_moves(p) == _canonical_moves(canonical_state(p))
+
+
+@given(processes1)
+def test_input_continuations_preserved(p):
+    c = canonical_state(p)
+    for a in sorted(free_names(p)):
+        for v in ("a", "w"):
+            lhs = {canonical_state(q) for q in input_continuations(p, a, (v,))}
+            rhs = {canonical_state(q) for q in input_continuations(c, a, (v,))}
+            assert lhs == rhs

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_steps(self, capsys):
+        assert main(["steps", "a<v> | a(x).x!"]) == 0
+        out = capsys.readouterr().out
+        assert "a<v>" in out and "v!" in out
+
+    def test_steps_quiescent(self, capsys):
+        assert main(["steps", "a(x).0"]) == 0
+        assert "quiescent" in capsys.readouterr().out
+
+    def test_moves_includes_inputs(self, capsys):
+        assert main(["moves", "a(x).x!", "--fresh", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "a(a)" in out and "a(_f0)" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "a!.b!", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "quiescent" in out and "final: 0" in out
+
+    def test_eq_verdicts(self, capsys):
+        assert main(["eq", "a?", "0"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+        assert main(["eq", "a?", "0", "--relation", "congruence"]) == 1
+        assert "DIFFERENT" in capsys.readouterr().out
+
+    def test_eq_weak(self, capsys):
+        assert main(["eq", "tau.a!", "a!", "--relation", "barbed",
+                     "--weak"]) == 0
+
+    def test_barb(self, capsys):
+        assert main(["barb", "tau.tau.x!", "x"]) == 0
+        assert "reachable" in capsys.readouterr().out
+        assert main(["barb", "tau.y!", "x", "--max-states", "100"]) == 1
+
+    def test_canon(self, capsys):
+        assert main(["canon", "0 | a! | 0"]) == 0
+        assert capsys.readouterr().out.strip() == "a!"
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "a!.b!"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph") and "a<>" in out
+
+    def test_graph_minimized(self, capsys):
+        assert main(["graph", "tau.(a! | 0) + tau.(0 | a!)",
+                     "--minimize"]) == 0
+        assert "B0" in capsys.readouterr().out
+
+    def test_bad_syntax_raises(self):
+        from repro.core.parser import ParseError
+        with pytest.raises(ParseError):
+            main(["steps", "a! +"])

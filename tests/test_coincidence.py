@@ -1,0 +1,107 @@
+"""Theorem 1: barbed equivalence = step equivalence = labelled bisimilarity
+(on image-finite processes), in both strong and weak versions.
+
+The universal context quantification of the equivalences is not directly
+computable, so the theorem is exercised as:
+
+* soundness (must hold for every sample): labelled bisimilarity implies
+  barbed and step bisimilarity under every sampled static context
+  (Corollaries 3/4 via Lemmas 8-11);
+* refutation (curated + random): when labelled bisimilarity fails, some
+  observer context makes barbed/step bisimilarity fail too (Lemma 12's
+  sensor idea, approximated by the finite observer family).
+"""
+
+from hypothesis import given, settings
+
+from repro.core.parser import parse
+from repro.equiv.barbed import strong_barbed_bisimilar, weak_barbed_bisimilar
+from repro.equiv.contexts import observer_contexts, sensor_fill
+from repro.equiv.labelled import strong_bisimilar, weak_bisimilar
+from repro.equiv.step import strong_step_bisimilar, weak_step_bisimilar
+from tests.strategies import processes0
+
+
+def barbed_equivalent_sampled(p, q, weak=False):
+    check = weak_barbed_bisimilar if weak else strong_barbed_bisimilar
+    return all(check(ctx.fill(p), ctx.fill(q))
+               for ctx in observer_contexts(p, q))
+
+
+def step_equivalent_sampled(p, q, weak=False):
+    check = weak_step_bisimilar if weak else strong_step_bisimilar
+    return all(check(ctx.fill(p), ctx.fill(q))
+               for ctx in observer_contexts(p, q))
+
+
+CURATED_EQUIVALENT = [
+    ("a?", "0"),
+    ("a?", "b?"),
+    ("a! | b?", "a!.b? + b?.(a! | 0)"),
+    ("tau.a! + tau.a!", "tau.a!"),
+    ("nu x x!", "nu y (y! | 0)"),
+]
+
+CURATED_INEQUIVALENT = [
+    ("a!", "b!"),
+    ("a!", "tau.a!"),
+    ("a?.c!", "0"),
+    ("a?.c!", "b?.c!"),
+    ("a!.b!", "a!"),
+    ("a! + b!", "a!.b!"),
+]
+
+
+class TestSoundDirection:
+    def test_curated_equivalent_under_contexts(self):
+        for lhs, rhs in CURATED_EQUIVALENT:
+            p, q = parse(lhs), parse(rhs)
+            assert strong_bisimilar(p, q), (lhs, rhs)
+            assert barbed_equivalent_sampled(p, q), (lhs, rhs)
+            assert step_equivalent_sampled(p, q), (lhs, rhs)
+
+    def test_weak_versions(self):
+        for lhs, rhs in CURATED_EQUIVALENT:
+            p, q = parse(lhs), parse(rhs)
+            assert weak_bisimilar(p, q), (lhs, rhs)
+            assert barbed_equivalent_sampled(p, q, weak=True), (lhs, rhs)
+            assert step_equivalent_sampled(p, q, weak=True), (lhs, rhs)
+
+
+class TestRefutationDirection:
+    def test_curated_inequivalent_refuted_by_contexts(self):
+        for lhs, rhs in CURATED_INEQUIVALENT:
+            p, q = parse(lhs), parse(rhs)
+            assert not strong_bisimilar(p, q), (lhs, rhs)
+            assert not (barbed_equivalent_sampled(p, q)
+                        and step_equivalent_sampled(p, q)), (lhs, rhs)
+
+    def test_input_made_observable_by_sensor(self):
+        # a?.c! vs 0: not bisimilar; the sensor summand converts the
+        # reception into an observable barb difference inside a context
+        # containing a sender on a.
+        p, q = parse("a?.c!"), parse("0")
+        ctx_sender = parse("a!")
+        filled_p = sensor_fill(p, ("a",), probe="probe") | ctx_sender
+        filled_q = sensor_fill(q, ("a",), probe="probe") | ctx_sender
+        assert not strong_barbed_bisimilar(filled_p, filled_q)
+
+
+@given(processes0)
+@settings(max_examples=20, deadline=None)
+def test_theorem1_sound_direction_random(p):
+    """Bisimilar (reflexively derived) pairs stay barbed/step bisimilar in
+    every sampled observer context."""
+    q = (p | parse("0")) + parse("0")
+    assert strong_bisimilar(p, q)
+    assert barbed_equivalent_sampled(p, q)
+    assert step_equivalent_sampled(p, q)
+
+
+@given(processes0, processes0)
+@settings(max_examples=20, deadline=None)
+def test_theorem1_agreement_random(p, q):
+    """If the sampled contexts refute barbed or step equivalence, labelled
+    bisimilarity must refute too (contrapositive of Corollaries 3/4)."""
+    if not barbed_equivalent_sampled(p, q) or not step_equivalent_sampled(p, q):
+        assert not strong_bisimilar(p, q)

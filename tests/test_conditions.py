@@ -1,0 +1,113 @@
+"""Tests for conditions and complete conditions (Definitions 16/18)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.axioms.conditions import (
+    TRUE,
+    And,
+    Eq,
+    Ne,
+    Not,
+    Partition,
+    agrees,
+    all_partitions,
+    conj,
+    entails,
+    equivalent,
+    satisfiable,
+)
+
+
+class TestSyntax:
+    def test_eq_evaluate(self):
+        assert Eq("a", "a").evaluate({})
+        assert not Eq("a", "b").evaluate({})
+        assert Eq("a", "b").evaluate({"a": "c", "b": "c"})
+
+    def test_connectives(self):
+        phi = Eq("a", "b") & Ne("b", "c")
+        assert phi.evaluate({"a": "x", "b": "x"})
+        assert not phi.evaluate({"a": "x", "b": "x", "c": "x"})
+        assert (~Eq("a", "b")).evaluate({})
+
+    def test_names(self):
+        phi = And(Eq("a", "b"), Not(Eq("c", "d")))
+        assert phi.names() == {"a", "b", "c", "d"}
+        assert TRUE.names() == frozenset()
+
+    def test_conj(self):
+        assert conj([]) is TRUE
+        phi = conj([Eq("a", "b"), Eq("b", "c")])
+        assert phi.evaluate({"a": "x", "b": "x", "c": "x"})
+
+
+class TestPartition:
+    def test_of_and_support(self):
+        p = Partition.of([["b", "a"], ["c"]])
+        assert p.support == {"a", "b", "c"}
+        assert p.equates("a", "b")
+        assert not p.equates("a", "c")
+
+    def test_representative_is_min(self):
+        p = Partition.of([["b", "a"]])
+        assert p.representative("b") == "a"
+        assert p.representative("zz") == "zz"  # outside support
+
+    def test_substitution(self):
+        p = Partition.of([["a", "b"], ["c"]])
+        assert p.substitution() == {"b": "a"}
+
+    def test_discrete(self):
+        p = Partition.discrete(frozenset({"a", "b"}))
+        assert not p.equates("a", "b")
+        assert p.singleton("a")
+
+    def test_restrict_extend(self):
+        p = Partition.of([["a", "b"], ["c"]])
+        assert p.restrict(frozenset({"a", "c"})) == Partition.of([["a"], ["c"]])
+        q = p.extend_discrete(frozenset({"d"}))
+        assert q.singleton("d") and q.equates("a", "b")
+
+    def test_condition_roundtrip(self):
+        p = Partition.of([["a", "b"], ["c"]])
+        phi = p.condition()
+        assert phi.evaluate(p.substitution())
+        # a substitution violating the partition falsifies the condition
+        assert not phi.evaluate({"c": "a"})
+
+    def test_all_partitions_count(self):
+        assert sum(1 for _ in all_partitions(frozenset("abc"))) == 5  # Bell(3)
+
+
+class TestEntailment:
+    def test_entails(self):
+        assert entails(Eq("a", "b") & Eq("b", "c"), Eq("a", "c"))
+        assert not entails(Eq("a", "b"), Eq("a", "c"))
+
+    def test_equivalent(self):
+        assert equivalent(Eq("a", "b"), Eq("b", "a"))
+        assert not equivalent(Eq("a", "b"), TRUE)
+
+    def test_satisfiable(self):
+        assert satisfiable(Eq("a", "b"))
+        assert not satisfiable(Eq("a", "b") & Ne("a", "b"))
+
+    def test_agrees(self):
+        p = Partition.of([["a", "b"], ["c"]])
+        phi = p.condition()
+        assert agrees(p.substitution(), phi)
+        assert not agrees({}, phi)          # fails to identify a, b
+        assert not agrees({"a": "c", "b": "c", "c": "c"}, phi)
+
+
+@given(st.sets(st.sampled_from("abcd"), min_size=1, max_size=4))
+def test_partition_condition_characterisation(names):
+    """Each partition's condition is satisfied exactly by substitutions
+    agreeing with it (Definition 18 round-trip)."""
+    names = frozenset(names)
+    for part in all_partitions(names):
+        phi = part.condition()
+        for other in all_partitions(names):
+            sigma = other.substitution()
+            assert phi.evaluate(sigma) == (other == part)

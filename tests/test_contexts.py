@@ -1,0 +1,83 @@
+"""Tests for the context machinery (Tables 4/5, experiment T4/T5)."""
+
+from repro.core.parser import parse
+from repro.equiv.barbed import strong_barbed_bisimilar
+from repro.equiv.contexts import (
+    StaticContext,
+    closed_under_contexts,
+    fresh_names_for,
+    hole,
+    observer_contexts,
+    sensor_fill,
+    static_contexts,
+)
+from repro.equiv.step import strong_step_bisimilar
+
+
+class TestStaticContext:
+    def test_hole_is_identity(self):
+        p = parse("a!")
+        assert hole().fill(p) == p
+
+    def test_fill_shape(self):
+        ctx = StaticContext(binders=("x",), sides=(parse("b!"),))
+        filled = ctx.fill(parse("a!"))
+        assert filled == parse("nu x (a! | b!)")
+
+    def test_str(self):
+        ctx = StaticContext(binders=("x",), sides=(parse("b!"),))
+        assert "[.]" in str(ctx) and "nu x" in str(ctx)
+
+    def test_enumeration_counts(self):
+        comps = [parse("a!"), parse("b!")]
+        ctxs = list(static_contexts(comps, ("a",), max_components=1))
+        # components: {}, {a!}, {b!}; binders: {}, {a} -> 6 contexts
+        assert len(ctxs) == 6
+
+    def test_enumeration_respects_limit(self):
+        comps = [parse("a!"), parse("b!")]
+        ctxs = list(static_contexts(comps, (), max_components=2))
+        assert any(len(c.sides) == 2 for c in ctxs)
+        ctxs1 = list(static_contexts(comps, (), max_components=1))
+        assert all(len(c.sides) <= 1 for c in ctxs1)
+
+
+class TestClosure:
+    def test_closure_detects_difference(self):
+        # Remark 2 part 1 via explicit context closure
+        p1, q1 = parse("b! + tau.c!"), parse("b! + b!.c!")
+        assert strong_step_bisimilar(p1, q1)
+        witness = []
+        ok = closed_under_contexts(
+            p1, q1, strong_step_bisimilar,
+            iter([StaticContext(sides=(parse("b?.a!"),))]),
+            witness=witness)
+        assert not ok and witness
+
+    def test_closure_passes_congruent_pair(self):
+        p, q = parse("a! + a!"), parse("a!")
+        assert closed_under_contexts(
+            p, q, strong_barbed_bisimilar,
+            observer_contexts(p, q))
+
+
+class TestSensors:
+    def test_sensor_fill_exposes_input(self):
+        p = parse("a?.c!")
+        filled = sensor_fill(p, ("a",), probe="probe")
+        # the sensor and the process race for the reception
+        sender = parse("a!")
+        assert not strong_barbed_bisimilar(
+            filled | sender,
+            sensor_fill(parse("0"), ("a",), probe="probe") | sender)
+
+    def test_fresh_names_for(self):
+        p, q = parse("u0! | u1?"), parse("u2!")
+        names = fresh_names_for(p, q, 2, hint="u")
+        assert len(names) == 2
+        assert set(names).isdisjoint({"u0", "u1", "u2"})
+
+    def test_observer_contexts_nonempty(self):
+        p, q = parse("a(x).x!"), parse("b!")
+        ctxs = list(observer_contexts(p, q))
+        assert len(ctxs) >= 4

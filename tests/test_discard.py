@@ -1,0 +1,98 @@
+"""Tests for the discard relation (Table 2, experiment T2).
+
+Includes the central *input/discard dichotomy*: a well-sorted process has
+an input transition on channel a iff it does not discard a.
+"""
+
+from hypothesis import given
+
+from repro.core.discard import discards, listening_channels
+from repro.core.freenames import free_names
+from repro.core.names import NameUniverse
+from repro.core.parser import parse
+from repro.core.semantics import input_capabilities, input_continuations
+from tests.strategies import processes0, processes1
+
+
+class TestTable2Rules:
+    def test_nil_discards_everything(self):
+        assert discards(parse("0"), "a")
+
+    def test_tau_prefix_discards(self):
+        assert discards(parse("tau.a?"), "a")
+
+    def test_output_prefix_discards(self):
+        # rule (3): b<y>.p discards even its own subject
+        assert discards(parse("a<b>.a?"), "a")
+
+    def test_input_listens_on_subject_only(self):
+        p = parse("b(x).x!")
+        assert not discards(p, "b")
+        assert discards(p, "a")
+
+    def test_restriction_rule5(self):
+        # nu x p discards x itself (the external x is a different channel)
+        p = parse("nu a a?")
+        assert discards(p, "a")
+        q = parse("nu x a?")
+        assert not discards(q, "a")
+
+    def test_sum_rule6(self):
+        p = parse("a? + b?")
+        assert not discards(p, "a")
+        assert not discards(p, "b")
+        assert discards(p, "c")
+
+    def test_match_rules_7_8(self):
+        assert not discards(parse("[a=a]{b?}{c?}"), "b")
+        assert discards(parse("[a=a]{b?}{c?}"), "c")
+        assert discards(parse("[a=b]{b?}{c?}"), "b")
+        assert not discards(parse("[a=b]{b?}{c?}"), "c")
+
+    def test_par_rule9(self):
+        p = parse("a? | b?")
+        assert not discards(p, "a")
+        assert not discards(p, "b")
+        assert discards(p, "c")
+
+    def test_rec_rule10(self):
+        p = parse("rec X(x := a). x?.X<x>")
+        assert not discards(p, "a")
+        assert discards(p, "b")
+
+
+class TestListening:
+    def test_listening_channels(self):
+        p = parse("a? + b(x).x! | nu c c?")
+        assert listening_channels(p) == {"a", "b"}
+
+    def test_listening_subset_of_fn(self):
+        p = parse("nu x (x? | a?)")
+        assert listening_channels(p) <= free_names(p)
+
+
+@given(processes0)
+def test_dichotomy_nullary(p):
+    """p has an a-input iff it does not discard a (arity-0 fragment)."""
+    for a in sorted(free_names(p) | {"fresh_chan"}):
+        has_input = bool(input_continuations(p, a, ()))
+        assert has_input == (not discards(p, a))
+
+
+@given(processes1)
+def test_dichotomy_monadic(p):
+    u = NameUniverse(free_names(p), 1)
+    for a in sorted(free_names(p) | {"fresh_chan"}):
+        for v in u.all_names:
+            has_input = bool(input_continuations(p, a, (v,)))
+            assert has_input == (not discards(p, a))
+
+
+@given(processes1)
+def test_listening_matches_capabilities(p):
+    assert listening_channels(p) == {c for c, _ in input_capabilities(p)}
+
+
+@given(processes1)
+def test_listening_channels_are_free(p):
+    assert listening_channels(p) <= free_names(p)

@@ -1,0 +1,144 @@
+"""Tests for labelled bisimilarity (Definitions 7/8) and Remark 3.
+
+The distinctive broadcast feature: inputs are matched by input-*or*-discard
+("noisy" matching), so a process that receives and ignores is bisimilar to
+one that never listened.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.parser import parse
+from repro.equiv.barbed import strong_barbed_bisimilar, weak_barbed_bisimilar
+from repro.equiv.labelled import strong_bisimilar, weak_bisimilar
+from repro.equiv.step import strong_step_bisimilar, weak_step_bisimilar
+from tests.strategies import processes0, processes1
+
+
+class TestNoisyMatching:
+    def test_listening_and_ignoring_is_invisible(self):
+        # a?.0 ~ 0 ~ b?.0 — the hallmark of broadcast bisimilarity
+        assert strong_bisimilar(parse("a?"), parse("0"))
+        assert strong_bisimilar(parse("a?"), parse("b?"))
+
+    def test_reception_with_effect_is_visible(self):
+        assert not strong_bisimilar(parse("a?.c!"), parse("0"))
+        assert not strong_bisimilar(parse("a?.c!"), parse("b?.c!"))
+
+    def test_input_values_matter(self):
+        assert not strong_bisimilar(parse("a(x).[x=b]{c!}"), parse("a(x).c!"))
+        assert strong_bisimilar(parse("a(x).[x=x]{c!}"), parse("a(x).c!"))
+
+    def test_outputs_matched_exactly(self):
+        assert not strong_bisimilar(parse("a!"), parse("b!"))
+        assert not strong_bisimilar(parse("a<b>"), parse("a<c>"))
+
+    def test_bound_output_alpha_irrelevant(self):
+        assert strong_bisimilar(parse("nu x a<x>"), parse("nu y a<y>"))
+
+    def test_bound_vs_free_output_differ(self):
+        assert not strong_bisimilar(parse("nu x a<x>"), parse("a<b>"))
+
+    def test_received_name_used_as_channel(self):
+        p = parse("a(x).x!")
+        q = parse("a(x).0")
+        assert not strong_bisimilar(p, q)
+        # and mobility: receiving then broadcasting on the received channel
+        assert strong_bisimilar(p, parse("a(y).y!"))
+
+
+class TestWeakLabelled:
+    def test_tau_absorption(self):
+        assert weak_bisimilar(parse("tau.a!"), parse("a!"))
+        assert not strong_bisimilar(parse("tau.a!"), parse("a!"))
+
+    def test_tau_choice_classic(self):
+        # the classic CCS inequivalence survives in broadcast
+        assert not weak_bisimilar(parse("a! + b!"), parse("tau.a! + tau.b!"))
+
+    def test_weak_input(self):
+        assert weak_bisimilar(parse("a(x).tau.x!"), parse("a(x).x!"))
+
+    def test_output_guarded_sum_distribution(self):
+        # a!.(b! + c!) vs a!.b! + a!.c! — NOT weakly bisimilar (Section 6
+        # discussion: bisimulations are arguably too strong for broadcast)
+        assert not weak_bisimilar(parse("a!.(b! + c!)"),
+                                  parse("a!.b! + a!.c!"))
+
+
+class TestRemark3:
+    """~ is not preserved by choice, substitution, prefixing."""
+
+    def test_not_preserved_by_choice(self):
+        assert strong_bisimilar(parse("a?"), parse("b?"))
+        assert not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
+
+    def test_not_preserved_by_substitution(self):
+        p = parse("x!.y?.c! + y?.(x! | c!)")
+        q = parse("x! | y?.c!")
+        assert strong_bisimilar(p, q)
+        # sigma = {y -> x}: the broadcast on x now forces the reception
+        ps = parse("x!.x?.c! + x?.(x! | c!)")
+        qs = parse("x! | x?.c!")
+        assert not strong_bisimilar(ps, qs)
+
+    def test_not_preserved_by_prefix(self):
+        # direct consequence: prefixing with a(y) then substituting shows
+        # a(y).(p) vs a(y).(q) differ when y can be instantiated to x
+        p = parse("y(x).(x!.y?.c! + y?.(x! | c!))")
+        q = parse("y(x).(x! | y?.c!)")
+        assert not strong_bisimilar(p, q)
+
+
+class TestPreservation:
+    """Lemmas 8 and 9: ~ and ~~ are preserved by nu and ||."""
+
+    # Each pair comes with sort-compatible observers (Lemma 9 presumes the
+    # composition is well-sorted; mixing arities on one channel is excluded
+    # by the calculus' implicit sorting).
+    PAIRS = [
+        ("a?", "0", ["a!.b!", "c?.b!", "a! | b?"]),
+        ("x!.y?.c! + y?.(x! | c!)", "x! | y?.c!", ["y!.c?", "x? | y!"]),
+        ("a<b>.0", "a<b>.0 + a<b>.0", ["a(x).x<b>", "b(y).a<y>"]),
+    ]
+
+    def test_preserved_by_parallel(self):
+        for lhs, rhs, observers in self.PAIRS:
+            p, q = parse(lhs), parse(rhs)
+            assert strong_bisimilar(p, q), (lhs, rhs)
+            for r_text in observers:
+                r = parse(r_text)
+                assert strong_bisimilar(p | r, q | r), (lhs, rhs, r_text)
+
+    def test_preserved_by_restriction(self):
+        for lhs, rhs, _ in self.PAIRS:
+            p, q = parse(lhs), parse(rhs)
+            for name in ("a", "x", "y"):
+                assert strong_bisimilar(
+                    parse(f"nu {name} ({lhs})"), parse(f"nu {name} ({rhs})")), \
+                    (lhs, rhs, name)
+
+
+@given(processes0)
+@settings(max_examples=40, deadline=None)
+def test_reflexive(p):
+    assert strong_bisimilar(p, p)
+
+
+@given(processes0)
+@settings(max_examples=30, deadline=None)
+def test_lemma10_11_strong(p):
+    """~ implies ~b and ~phi (Lemmas 10, 11) — via law-generated pairs."""
+    q = p | parse("0")
+    assert strong_bisimilar(p, q)
+    assert strong_barbed_bisimilar(p, q)
+    assert strong_step_bisimilar(p, q)
+
+
+@given(processes1)
+@settings(max_examples=25, deadline=None)
+def test_strong_implies_weak(p):
+    q = parse("nu dead (dead? | 0)") | p
+    assert strong_bisimilar(p, q)
+    assert weak_bisimilar(p, q)
+    assert weak_barbed_bisimilar(p, q)
+    assert weak_step_bisimilar(p, q)

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion and reports no
+mismatches (the demos double as end-to-end integration checks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = pathlib.Path(__file__).parent.parent / "examples" / script
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "MISMATCH" not in result.stdout
+    assert result.stdout.strip(), "demo produced no output"
+
+
+def test_report_harness_runs():
+    path = pathlib.Path(__file__).parent.parent / "benchmarks" / "report.py"
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "ALL REPRODUCED" in result.stdout

@@ -1,0 +1,72 @@
+"""Tests for the generic AND-OR greatest-fixpoint game solver."""
+
+import pytest
+
+from repro.core.reduction import StateSpaceExceeded
+from repro.equiv.game import solve_game
+
+
+def table_solver(table):
+    """Build a challenges_of function from a dict node -> [challenge]."""
+    return lambda key: table.get(key, [])
+
+
+class TestSolveGame:
+    def test_no_challenges_wins(self):
+        assert solve_game("root", table_solver({"root": []}))
+
+    def test_empty_challenge_loses(self):
+        # one challenge with no candidates: unanswerable
+        assert not solve_game("root", table_solver({"root": [[]]}))
+
+    def test_chain(self):
+        table = {"a": [["b"]], "b": [["c"]], "c": []}
+        assert solve_game("a", table_solver(table))
+
+    def test_chain_with_dead_end(self):
+        table = {"a": [["b"]], "b": [["c"]], "c": [[]]}
+        assert not solve_game("a", table_solver(table))
+
+    def test_or_choice(self):
+        # one candidate dies, the other survives
+        table = {"a": [["dead", "alive"]], "dead": [[]], "alive": []}
+        assert solve_game("a", table_solver(table))
+
+    def test_and_requirement(self):
+        # two challenges: both must be answerable
+        table = {"a": [["ok"], ["bad"]], "ok": [], "bad": [[]]}
+        assert not solve_game("a", table_solver(table))
+
+    def test_self_loop_survives(self):
+        # greatest fixpoint: a self-supporting loop is in the relation
+        table = {"a": [["a"]]}
+        assert solve_game("a", table_solver(table))
+
+    def test_mutual_loop_survives(self):
+        table = {"a": [["b"]], "b": [["a"]]}
+        assert solve_game("a", table_solver(table))
+
+    def test_loop_with_escape_to_dead(self):
+        # the loop candidate keeps it alive even if another candidate dies
+        table = {"a": [["a", "dead"]], "dead": [[]]}
+        assert solve_game("a", table_solver(table))
+
+    def test_cascading_death(self):
+        # c dies, kills b (only candidate), kills a
+        table = {"a": [["b"]], "b": [["c"]], "c": [["d"]], "d": [[]]}
+        assert not solve_game("a", table_solver(table))
+
+    def test_duplicate_candidates_deduped(self):
+        table = {"a": [["b", "b", "b"]], "b": [[]]}
+        assert not solve_game("a", table_solver(table))
+
+    def test_pair_budget(self):
+        # infinite fresh nodes: must hit the budget
+        counter = [0]
+
+        def challenges(key):
+            counter[0] += 1
+            return [[f"n{counter[0]}"]]
+
+        with pytest.raises(StateSpaceExceeded):
+            solve_game("root", challenges, max_pairs=50)

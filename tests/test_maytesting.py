@@ -1,0 +1,84 @@
+"""Experiment S6c — may-testing (the Section 6 observation).
+
+``a!.(b! + c!)`` and ``a!.b! + a!.c!`` are not (weak barbed / labelled)
+equivalent, yet no observer can distinguish them — may-testing equates
+them.  Plus sanity properties of the testing machinery.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.builder import out
+from repro.core.parser import parse
+from repro.equiv.labelled import weak_bisimilar
+from repro.equiv.maytesting import (
+    may_equivalent_sampled,
+    may_pass,
+    may_preorder_sampled,
+    observer_family,
+    output_traces,
+)
+from tests.strategies import processes0
+
+
+class TestSection6Observation:
+    LHS = "a!.(b! + c!)"
+    RHS = "a!.b! + a!.c!"
+
+    def test_not_bisimilar(self):
+        assert not weak_bisimilar(parse(self.LHS), parse(self.RHS))
+
+    def test_may_equivalent(self):
+        assert may_equivalent_sampled(parse(self.LHS), parse(self.RHS))
+
+    def test_same_output_traces(self):
+        assert output_traces(parse(self.LHS)) == output_traces(parse(self.RHS))
+
+
+class TestMayMachinery:
+    def test_may_pass_basic(self):
+        from repro.core.builder import inp
+        p = parse("a!")
+        ok_observer = inp("a", (), out("succ_omega"))
+        assert may_pass(p, ok_observer)
+        assert not may_pass(parse("b!"), ok_observer, max_states=2_000)
+
+    def test_observer_family_nonempty(self):
+        obs = observer_family(parse("a!"), parse("b?"))
+        assert len(obs) > 3
+
+    def test_preorder_refutation(self):
+        # a! may be observed on a; 0 may not
+        witness = []
+        assert not may_preorder_sampled(parse("a!"), parse("0"),
+                                        witness=witness)
+        assert witness
+
+    def test_preorder_orientation(self):
+        # 0 passes fewer experiments than a!
+        assert may_preorder_sampled(parse("0"), parse("a!"))
+
+    def test_traces_prefix_closed(self):
+        traces = output_traces(parse("a!.b!.c!"))
+        assert () in traces
+        assert ("a<>",) in traces
+        assert ("a<>", "b<>") in traces
+        assert ("a<>", "b<>", "c<>") in traces
+
+    def test_internal_choice_traces(self):
+        # tau branching shows up as union of trace sets
+        traces = output_traces(parse("tau.a! + tau.b!"))
+        assert ("a<>",) in traces and ("b<>",) in traces
+        assert ("a<>", "b<>") not in traces
+
+
+@given(processes0)
+@settings(max_examples=15, deadline=None)
+def test_may_equivalence_reflexive(p):
+    assert may_equivalent_sampled(p, p, max_states=4_000)
+
+
+@given(processes0)
+@settings(max_examples=15, deadline=None)
+def test_bisimilarity_implies_may_equivalence(p):
+    q = p | parse("0")
+    assert may_equivalent_sampled(p, q, max_states=4_000)

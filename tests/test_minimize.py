@@ -1,0 +1,62 @@
+"""Tests for LTS minimization and DOT export."""
+
+from repro.core.parser import parse
+from repro.lts.graph import build_step_lts
+from repro.lts.minimize import minimal_to_dot, minimize, to_dot
+
+
+class TestMinimize:
+    def test_already_minimal(self):
+        lts, root = build_step_lts(parse("a!.b!"))
+        m = minimize(lts, root)
+        assert m.n_blocks == lts.n_states == 3
+
+    def test_duplicate_branches_merge(self):
+        # tau.a! + tau.a!: the two tau-targets are the same state already;
+        # build a genuinely redundant LTS via distinct intermediate terms
+        lts, root = build_step_lts(parse("tau.(a! | 0) + tau.(0 | a!)"))
+        m = minimize(lts, root)
+        assert m.n_blocks <= lts.n_states
+        assert m.n_blocks == 3  # start, a!-state, nil
+
+    def test_labels_separate(self):
+        lts, root = build_step_lts(parse("a!.c! + b!.c!"))
+        m = minimize(lts, root)
+        # a!-target and b!-target merge (both then do c!)
+        assert m.n_blocks == 3
+
+    def test_barbs_respected(self):
+        lts, root = build_step_lts(parse("tau.a! + tau.b!"))
+        m = minimize(lts, root)
+        # a!-state and b!-state have different barbs: no merge
+        assert m.n_blocks == 4
+
+    def test_block_of_consistent(self):
+        lts, root = build_step_lts(parse("a! + a!"))
+        m = minimize(lts, root)
+        assert len(m.block_of) == lts.n_states
+        assert m.initial == m.block_of[root]
+
+
+class TestDot:
+    def test_dot_renders(self):
+        lts, root = build_step_lts(parse("a<b> | c?"))
+        dot = to_dot(lts, root)
+        assert dot.startswith("digraph")
+        assert "a<b>" in dot
+        assert "doublecircle" in dot
+
+    def test_tau_rendered_as_tau(self):
+        lts, root = build_step_lts(parse("tau.a!"))
+        assert "τ" in to_dot(lts, root)
+
+    def test_minimal_dot(self):
+        lts, root = build_step_lts(parse("a!.b!"))
+        dot = minimal_to_dot(minimize(lts, root))
+        assert "B0" in dot and dot.endswith("}")
+
+    def test_long_labels_truncated(self):
+        lts, root = build_step_lts(
+            parse("averyverylongchannelname<with, many, objects, here>"))
+        dot = to_dot(lts, root, max_label=10)
+        assert "…" in dot

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.names."""
+
+import pytest
+
+from repro.core.names import (
+    NameSupply,
+    NameUniverse,
+    canonical_fresh,
+    fresh_index,
+    fresh_name,
+    fresh_names,
+    is_fresh_name,
+    is_valid_name,
+)
+
+
+class TestFreshName:
+    def test_avoids_given_names(self):
+        assert fresh_name({"a", "b"}) not in {"a", "b"}
+
+    def test_hint_used_when_free(self):
+        assert fresh_name({"a"}, hint="b") == "b"
+
+    def test_hint_primed_when_taken(self):
+        assert fresh_name({"b"}, hint="b") == "b'"
+        assert fresh_name({"b", "b'"}, hint="b") == "b''"
+
+    def test_canonical_supply_when_no_hint(self):
+        assert fresh_name(set()) == "_f0"
+        assert fresh_name({"_f0"}) == "_f1"
+
+    def test_fresh_names_distinct(self):
+        got = fresh_names(5, {"a"})
+        assert len(set(got)) == 5
+        assert "a" not in got
+
+    def test_fresh_names_respects_hints(self):
+        got = fresh_names(2, {"x"}, hints=("x", "y"))
+        assert got == ("x'", "y")
+
+
+class TestPredicates:
+    def test_valid_names(self):
+        assert is_valid_name("a")
+        assert is_valid_name("chan_1'")
+        assert not is_valid_name("")
+        assert not is_valid_name("1a")
+        assert not is_valid_name("_f0")
+
+    def test_is_fresh_name(self):
+        assert is_fresh_name("_f0")
+        assert is_fresh_name("_f17")
+        assert not is_fresh_name("_f")
+        assert not is_fresh_name("f0")
+
+    def test_fresh_index(self):
+        assert fresh_index("_f3") == 3
+        assert fresh_index("a") is None
+
+    def test_canonical_fresh_rejects_negative(self):
+        with pytest.raises(ValueError):
+            canonical_fresh(-1)
+
+
+class TestNameSupply:
+    def test_sequence(self):
+        s = NameSupply()
+        assert s.next() == "_f0"
+        assert s.next() == "_f1"
+
+    def test_skips_avoid(self):
+        s = NameSupply()
+        assert s.next(avoid={"_f0"}) == "_f1"
+
+    def test_take_distinct(self):
+        s = NameSupply()
+        got = s.take(3)
+        assert len(set(got)) == 3
+
+
+class TestNameUniverse:
+    def test_contents(self):
+        u = NameUniverse(["b", "a"], n_fresh=2)
+        assert u.known == ("a", "b")
+        assert u.fresh == ("_f0", "_f1")
+        assert list(u) == ["a", "b", "_f0", "_f1"]
+        assert len(u) == 4
+        assert "a" in u and "_f1" in u and "c" not in u
+
+    def test_fresh_pool_avoids_known(self):
+        u = NameUniverse(["_f0", "a"], n_fresh=1)
+        assert u.fresh == ("_f1",)
+
+    def test_vectors(self):
+        u = NameUniverse(["a"], n_fresh=1)
+        assert set(u.vectors(1)) == {("a",), ("_f0",)}
+        assert list(u.vectors(0)) == [()]
+        assert len(list(u.vectors(2))) == 4
+
+    def test_extended(self):
+        u = NameUniverse(["a"], n_fresh=1).extended(["b"])
+        assert u.known == ("a", "b")
+        assert len(u.fresh) == 1
+
+    def test_negative_fresh_rejected(self):
+        with pytest.raises(ValueError):
+            NameUniverse(["a"], n_fresh=-1)

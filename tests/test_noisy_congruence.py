@@ -1,0 +1,140 @@
+"""Tests for ~+ (Definition 11), ~c (congruence), Remark 4 and Theorems 2/3.
+
+Remark 4's chain:  ~c  is strictly inside  ~+  which is strictly inside  ~.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.builder import inp, nu, out, par, tau
+from repro.core.parser import parse
+from repro.core.substitution import apply_subst
+from repro.equiv.congruence import (
+    congruent,
+    identification_substitutions,
+    set_partitions,
+)
+from repro.equiv.labelled import strong_bisimilar
+from repro.equiv.noisy import noisy_similar
+from tests.strategies import processes0
+
+
+class TestPartitions:
+    def test_counts_are_bell_numbers(self):
+        # Bell numbers: 1, 1, 2, 5, 15
+        for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+            items = tuple(f"n{i}" for i in range(n))
+            assert sum(1 for _ in set_partitions(items)) == bell
+
+    def test_identification_substitutions(self):
+        sigmas = list(identification_substitutions(frozenset({"a", "b"})))
+        assert {frozenset(s.items()) for s in sigmas} == {
+            frozenset(), frozenset({("b", "a")})}
+
+
+class TestRemark4:
+    def test_noisy_strictly_finer_than_bisim(self):
+        # a?.0 ~ b?.0 but NOT a?.0 ~+ b?.0 (input must match an input)
+        a, b = parse("a?"), parse("b?")
+        assert strong_bisimilar(a, b)
+        assert not noisy_similar(a, b)
+
+    def test_congruence_strictly_finer_than_noisy(self):
+        # the Remark 3 substitution example: related by ~+ but not by ~c
+        p = parse("x!.y?.c! + y?.(x! | c!)")
+        q = parse("x! | y?.c!")
+        assert noisy_similar(p, q)
+        assert not congruent(p, q)
+
+    def test_congruence_witness_substitution(self):
+        p = parse("x!.y?.c! + y?.(x! | c!)")
+        q = parse("x! | y?.c!")
+        witness = []
+        assert not congruent(p, q, witness=witness)
+        [sigma] = witness
+        # the distinguishing substitution identifies x and y
+        assert sigma.get("x", "x") == sigma.get("y", "y")
+        assert not strong_bisimilar(apply_subst(p, sigma),
+                                    apply_subst(q, sigma))
+
+
+class TestNoisyPreservation:
+    """Remark 4: ~+ is preserved by +, nu and || (unlike ~)."""
+
+    PAIRS = [
+        ("a!.b? + a!.c?", "a!"),           # noisy continuations
+        ("a(x).[x=x]{x!}", "a(x).x!"),
+        ("tau.(b? | 0)", "tau.b?"),
+    ]
+
+    def test_pairs_noisy(self):
+        for lhs, rhs in self.PAIRS:
+            assert noisy_similar(parse(lhs), parse(rhs)), (lhs, rhs)
+
+    def test_preserved_by_choice(self):
+        for lhs, rhs in self.PAIRS:
+            p, q = parse(lhs), parse(rhs)
+            for r_text in ["d!", "a(y).d<y>" if "(" in lhs else "a!.d!"]:
+                r = parse(r_text)
+                assert noisy_similar(p + r, q + r), (lhs, rhs, r_text)
+
+    def test_preserved_by_restriction_and_parallel(self):
+        for lhs, rhs in self.PAIRS:
+            p, q = parse(lhs), parse(rhs)
+            assert noisy_similar(nu("b", p), nu("b", q)), (lhs, rhs)
+            r = parse("d!.e?")
+            assert noisy_similar(p | r, q | r), (lhs, rhs)
+
+    def test_bisim_not_preserved_by_choice_contrast(self):
+        # contrast with ~: a? ~ b? yet a?+c! !~ b?+c!
+        assert strong_bisimilar(parse("a?"), parse("b?"))
+        assert not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
+        assert not noisy_similar(parse("a?"), parse("b?"))
+
+
+class TestCongruenceProperties:
+    def test_congruent_basic_laws(self):
+        # S2: p + p = p is a congruence law
+        p = parse("a!.b?")
+        assert congruent(p + p, p)
+        # P1: p || nil = p
+        assert congruent(p | parse("0"), p)
+
+    def test_congruence_closed_under_operators(self):
+        pairs = [(parse("a! + a!"), parse("a!")),
+                 (parse("b? | 0"), parse("b?"))]
+        for p, q in pairs:
+            assert congruent(p, q)
+            r = parse("c(x).x!")
+            assert congruent(p + r, q + r)
+            assert congruent(p | r, q | r)
+            assert congruent(nu("a", p), nu("a", q))
+            assert congruent(tau(p), tau(q))
+            assert congruent(inp("d", ("z",), p), inp("d", ("z",), q))
+
+    def test_weak_congruence(self):
+        assert congruent(parse("tau.a! + a!"), parse("tau.a! + a!"), weak=True)
+        assert not congruent(parse("tau.a!"), parse("a!"), weak=False)
+
+    def test_h_axiom_shape_is_congruent(self):
+        # a!.p = a!.(p + c(x).p) when p does not listen on c — the (H) law
+        p = parse("b!.d?")
+        lhs = out("a", cont=p)
+        rhs = out("a", cont=p + inp("c", ("x",), p))
+        assert congruent(lhs, rhs)
+
+    def test_h_axiom_needs_nonlistening(self):
+        # if p listens on c, adding c(x).p is observable
+        p = parse("c?.b!")
+        lhs = out("a", cont=p)
+        rhs = out("a", cont=p + inp("c", (), p))
+        assert not congruent(lhs, rhs)
+
+
+@given(processes0)
+@settings(max_examples=25, deadline=None)
+def test_noisy_between_congruence_and_bisim(p):
+    """~c <= ~+ <= ~ on reflexive instances and simple derived pairs."""
+    q = p | parse("0")
+    assert congruent(p, q)
+    assert noisy_similar(p, q)
+    assert strong_bisimilar(p, q)

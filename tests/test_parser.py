@@ -1,0 +1,137 @@
+"""Parser tests, including the printer round-trip property (experiment T1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.parser import ParseError, parse
+from repro.core.pretty import pretty
+from repro.core.syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Output,
+    Par,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+from tests.strategies import processes1
+
+
+class TestBasics:
+    def test_nil(self):
+        assert parse("0") is NIL
+        assert parse("nil") is NIL
+
+    def test_tau(self):
+        assert parse("tau") == Tau(NIL)
+        assert parse("tau.tau") == Tau(Tau(NIL))
+
+    def test_nullary_io(self):
+        assert parse("a!") == Output("a", (), NIL)
+        assert parse("a?") == Input("a", (), NIL)
+        assert parse("a!.b?") == Output("a", (), Input("b", (), NIL))
+
+    def test_polyadic_io(self):
+        assert parse("a<b, c>") == Output("a", ("b", "c"), NIL)
+        assert parse("a(x, y).x<y>") == Input(
+            "a", ("x", "y"), Output("x", ("y",), NIL))
+        assert parse("a<>") == Output("a", (), NIL)
+        assert parse("a()") == Input("a", (), NIL)
+
+    def test_restriction(self):
+        assert parse("nu x x!") == Restrict("x", Output("x", (), NIL))
+        assert parse("nu x nu y (x! | y!)") == Restrict(
+            "x", Restrict("y", Par(Output("x", (), NIL), Output("y", (), NIL))))
+
+    def test_match(self):
+        assert parse("[a=b]{c!}{d!}") == Match(
+            "a", "b", Output("c", (), NIL), Output("d", (), NIL))
+        assert parse("[a=b]{c!}") == Match("a", "b", Output("c", (), NIL), NIL)
+
+    def test_mismatch_sugar(self):
+        assert parse("[a!=b]{c!}{d!}") == Match(
+            "a", "b", Output("d", (), NIL), Output("c", (), NIL))
+
+    def test_precedence(self):
+        # + binds tighter than |
+        p = parse("a! + b! | c!")
+        assert isinstance(p, Par) and isinstance(p.left, Sum)
+        # prefix binds tighter than +
+        q = parse("a!.b! + c!")
+        assert isinstance(q, Sum) and isinstance(q.left, Output)
+
+    def test_double_bar_accepted(self):
+        assert parse("a! || b!") == parse("a! | b!")
+
+    def test_parens(self):
+        p = parse("a!.(b! + c!)")
+        assert isinstance(p, Output) and isinstance(p.cont, Sum)
+
+    def test_nu_scopes_over_factor_only(self):
+        p = parse("nu x x! + a!")
+        assert isinstance(p, Sum)
+        assert isinstance(p.left, Restrict)
+
+    def test_comments_and_whitespace(self):
+        assert parse("a! # send\n + b!  # alt\n") == parse("a!+b!")
+
+
+class TestRec:
+    def test_sugared(self):
+        p = parse("rec X(x := a). x?.X<x>")
+        assert p == Rec("X", ("x",),
+                        Input("x", (), Ident("X", ("x",))), ("a",))
+
+    def test_application_form(self):
+        p = parse("(rec X(x). x?.X<x>)<a>")
+        assert p == parse("rec X(x := a). x?.X<x>")
+
+    def test_nullary_rec(self):
+        p = parse("rec X(). tau.X")
+        assert p == Rec("X", (), Tau(Ident("X", ())), ())
+
+    def test_bare_ident(self):
+        assert parse("rec X(). tau.X").body == Tau(Ident("X", ()))
+        assert parse("rec X(). tau.X<>").body == Tau(Ident("X", ()))
+
+    def test_application_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse("(rec X(x). x?.X<x>)<a, b>")
+
+    def test_mixed_styles_rejected(self):
+        with pytest.raises(ParseError):
+            parse("rec X(x := a, y). 0")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "a", "a!.", "(a!", "[a=b]{c!", "nu", "nu x", "a<b", "a(x",
+        "A!", "a! b!", "X := a", "rec x(). 0", "[A=b]{0}", "a!)",
+        "_f0!", "_v1?", "(a!)<b>",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_has_position(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse("a! +\n %")
+
+
+@given(processes1)
+def test_roundtrip(p):
+    """parse(pretty(p)) == p for random terms (experiment T1)."""
+    assert parse(pretty(p)) == p
+
+
+def test_roundtrip_paper_examples():
+    texts = [
+        "i(x).i(y).(D<i, o> | E<o, x, y>)",
+        "nu u ((rec Y(b := b, u := u). b<u>.Y<b, u>) | a(w).[u=w]{o!}{b<w>})",
+        "a! + tau.b(x).[x=a]{x<a>}{nu z z<x>}",
+    ]
+    for text in texts:
+        assert parse(pretty(parse(text))) == parse(text)

@@ -1,0 +1,84 @@
+"""Tests for the seeded simulator and traces."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.runtime.simulator import run, run_until_quiescent, sample_runs
+from repro.runtime.trace import Trace, TraceEvent
+
+
+class TestRun:
+    def test_quiescent_linear(self):
+        tr = run(parse("a!.b!.tau"))
+        assert tr.quiescent
+        assert tr.steps == 3
+        assert [str(a) for a in tr.broadcasts()] == ["a<>", "b<>"]
+
+    def test_stop_on_barb(self):
+        tr = run(parse("a!.b!.c!"), stop_on_barb="b")
+        assert tr.steps == 2
+        assert tr.observed("b") and not tr.observed("c")
+
+    def test_seed_reproducible(self):
+        p = parse("a! | b! | c!")
+        t1 = run(p, seed=42)
+        t2 = run(p, seed=42)
+        assert [str(e.action) for e in t1.events] == \
+            [str(e.action) for e in t2.events]
+
+    def test_seeds_differ(self):
+        p = parse("a! | b! | c! | d!")
+        orders = {tuple(str(e.action) for e in run(p, seed=s).events)
+                  for s in range(10)}
+        assert len(orders) > 1
+
+    def test_round_robin_policy(self):
+        tr = run(parse("a! | b!"), policy="round_robin")
+        assert tr.quiescent
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            run(parse("a!"), policy="fifo")
+
+    def test_custom_policy(self):
+        tr = run(parse("a! + b!"), policy=lambda step, moves: len(moves) - 1)
+        assert tr.steps == 1
+
+    def test_step_budget(self):
+        tr = run(parse("rec X(). tau.X"), max_steps=25)
+        assert not tr.quiescent
+        assert tr.steps == 25
+
+    def test_rebind_extrusions_keeps_closed(self):
+        from repro.core.freenames import free_names
+        tr = run(parse("nu x a<x>.x!"), max_steps=5)
+        assert free_names(tr.final) <= {"a"}
+
+    def test_broadcast_sync_in_run(self):
+        tr = run(parse("a<v> | a(x).x!"), max_steps=5)
+        payloads = tr.payloads("a")
+        assert payloads == [("v",)]
+        assert tr.observed("v")
+
+
+class TestTrace:
+    def test_payloads_in_order(self):
+        tr = run(parse("a<x>.a<y>"), seed=0)
+        assert tr.payloads("a") == [("x",), ("y",)]
+
+    def test_str(self):
+        tr = run_until_quiescent(parse("a!"))
+        text = str(tr)
+        assert "quiescent" in text and "a<>" in text
+
+    def test_event_fields(self):
+        tr = run(parse("tau.a!"))
+        ev = tr.events[0]
+        assert isinstance(ev, TraceEvent)
+        assert not ev.is_broadcast
+        assert tr.events[1].is_broadcast
+
+    def test_sample_runs(self):
+        traces = sample_runs(parse("a! | b!"), seeds=[1, 2, 3])
+        assert len(traces) == 3
+        assert all(isinstance(t, Trace) and t.quiescent for t in traces)

@@ -1,0 +1,95 @@
+"""Tests for sort inference (the implicit well-sortedness discipline)."""
+
+import pytest
+
+from repro.apps.cycle_detection import prefed_system
+from repro.apps.pvm import Bcast, Emit, JoinGroup, Receive, machine
+from repro.core.parser import parse
+from repro.core.sorts import (
+    SortError,
+    check_well_sorted,
+    infer_sorts,
+    sort_respecting_partitions,
+    sorts_compatible,
+)
+
+
+class TestInference:
+    def test_simple_arities(self):
+        t = infer_sorts(parse("a<b, c> | d(x).x!"))
+        assert t.arity_of("a") == 2
+        assert t.arity_of("d") == 1
+
+    def test_mobility_propagates(self):
+        # x receives on d and is used nullary: d carries nullary channels
+        t = infer_sorts(parse("d(x).x! | d<k>"))
+        assert t.arity_of("d") == 1
+        assert t.arity_of("k") == 0
+
+    def test_uniform_recursive_sort(self):
+        # t = ch(t): a channel carrying channels like itself
+        t = infer_sorts(parse("a<a>"))
+        assert t.arity_of("a") == 1
+        assert t.describe("a") == "ch(rec)"
+
+    def test_mismatch_detected(self):
+        with pytest.raises(SortError):
+            infer_sorts(parse("a! | a<b>"))
+
+    def test_mismatch_via_mobility(self):
+        # y := b (nullary use), but b also used at arity 1
+        with pytest.raises(SortError):
+            infer_sorts(parse("d(y).y! | d<b> | b<c>"))
+
+    def test_match_unifies(self):
+        with pytest.raises(SortError):
+            infer_sorts(parse("[a=b]{0} | a! | b<c>"))
+
+    def test_restriction_scopes(self):
+        # inner x independent from outer x
+        t = infer_sorts(parse("x! | nu x x<a>"))
+        assert t.arity_of("x") == 0  # the free one
+
+    def test_rec_args_unify_with_params(self):
+        t = infer_sorts(parse("rec X(c := a). c<b>.X<c>"))
+        assert t.arity_of("a") == 1
+
+
+class TestPaperSystems:
+    def test_cycle_detector_well_sorted(self):
+        check_well_sorted(prefed_system([("a", "b"), ("b", "c")]))
+
+    def test_pvm_machine_well_sorted(self):
+        system = machine({
+            "m1": [JoinGroup("g"), Receive("x"), Emit("seen", "x")],
+            "snd": [Bcast("g", "news")],
+        })
+        check_well_sorted(system)
+
+    def test_ram_well_sorted(self):
+        from repro.apps.ram import encode, program_add
+        check_well_sorted(encode(program_add("x", "y", "s"), {"x": 1, "y": 1}))
+
+
+class TestCompatibility:
+    def test_compatible_names(self):
+        t = infer_sorts(parse("a! | b!"))
+        assert sorts_compatible(t, "a", "b")
+
+    def test_incompatible_names(self):
+        t = infer_sorts(parse("a! | b<c>"))
+        assert not sorts_compatible(t, "a", "b")
+
+    def test_unknown_names_compatible(self):
+        t = infer_sorts(parse("a!"))
+        assert sorts_compatible(t, "a", "zz")
+
+    def test_partition_filter(self):
+        p = parse("a! | b<c>")
+        t = infer_sorts(p)
+        names = frozenset({"a", "b", "c"})
+        allowed = list(sort_respecting_partitions(names, t))
+        all_parts = 5  # Bell(3)
+        assert 0 < len(allowed) < all_parts
+        for blocks in allowed:
+            assert not any(set(b) >= {"a", "b"} for b in blocks)

@@ -1,0 +1,135 @@
+"""Tests for capture-avoiding substitution and alpha-machinery."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.freenames import bound_names, free_names
+from repro.core.parser import parse
+from repro.core.substitution import (
+    alpha_eq,
+    apply_subst,
+    canonical_alpha,
+    rename_bound_apart,
+    subst_ident,
+    unfold_rec,
+)
+from repro.core.syntax import NIL, Ident, Input, Output, Rec, Restrict
+from tests.strategies import name_substitutions, processes1
+
+
+class TestApplySubst:
+    def test_simple_rename(self):
+        assert apply_subst(parse("a<b>"), {"a": "c"}) == parse("c<b>")
+
+    def test_objects_renamed(self):
+        assert apply_subst(parse("a<b, b>"), {"b": "d"}) == parse("a<d, d>")
+
+    def test_binder_shadows(self):
+        # x is bound: substituting x does nothing under the binder.
+        p = parse("a(x).x<b>")
+        assert apply_subst(p, {"x": "c"}) == p
+
+    def test_capture_avoided_input(self):
+        # substituting b -> x under binder x must rename the binder
+        p = parse("a(x).x<b>")
+        q = apply_subst(p, {"b": "x"})
+        # the result receives on a and then outputs the *free* x
+        binder = q.params[0]
+        assert binder != "x"
+        assert q.cont == Output(binder, ("x",), NIL)
+
+    def test_capture_avoided_restriction(self):
+        p = parse("nu x a<x, b>")
+        q = apply_subst(p, {"b": "x"})
+        assert isinstance(q, Restrict)
+        assert q.name != "x"
+        assert q.body == Output("a", (q.name, "x"), NIL)
+
+    def test_identity_returns_same_object(self):
+        p = parse("a(x).x<b>")
+        assert apply_subst(p, {"z": "w"}) is p
+        assert apply_subst(p, {}) is p
+
+    def test_match_names_substituted(self):
+        p = parse("[a=b]{c!}{d!}")
+        q = apply_subst(p, {"a": "b", "c": "e"})
+        assert q == parse("[b=b]{e!}{d!}")
+
+    def test_rec_args_substituted(self):
+        p = parse("rec X(x := a). x?.X<x>")
+        q = apply_subst(p, {"a": "b"})
+        assert isinstance(q, Rec)
+        assert q.args == ("b",)
+        assert q.body == p.body
+
+    def test_simultaneous_swap(self):
+        p = parse("a<b>")
+        assert apply_subst(p, {"a": "b", "b": "a"}) == parse("b<a>")
+
+
+class TestIdentSubstitution:
+    def test_subst_ident_replaces(self):
+        body = Input("x", (), Ident("X", ("x",)))
+        got = subst_ident(body, "X", ("x",), body)
+        assert got == Input("x", (), Rec("X", ("x",), body, ("x",)))
+
+    def test_inner_rec_shadows(self):
+        inner = Rec("X", ("y",), Input("y", (), Ident("X", ("y",))), ("b",))
+        got = subst_ident(inner, "X", ("x",), NIL)
+        assert got == inner
+
+    def test_unfold_rec(self):
+        p = parse("rec X(x := a). x?.X<x>")
+        q = unfold_rec(p)
+        assert isinstance(q, Input)
+        assert q.chan == "a"
+        assert q.cont == Rec("X", ("x",), p.body, ("a",))
+
+    def test_unfold_rec_twice_progresses(self):
+        p = parse("rec X(x := a). x!.X<x>")
+        q = unfold_rec(p)
+        assert isinstance(q, Output) and q.chan == "a"
+        r = unfold_rec(q.cont)
+        assert isinstance(r, Output) and r.chan == "a"
+
+
+class TestAlpha:
+    def test_alpha_eq_basic(self):
+        assert alpha_eq(parse("a(x).x!"), parse("a(y).y!"))
+        assert alpha_eq(parse("nu x x<a>"), parse("nu y y<a>"))
+        assert not alpha_eq(parse("a(x).x!"), parse("a(y).a!"))
+
+    def test_alpha_distinguishes_free(self):
+        assert not alpha_eq(parse("a!"), parse("b!"))
+
+    def test_canonical_idempotent(self):
+        p = parse("nu x (x<a> | a(y).y!)")
+        assert canonical_alpha(canonical_alpha(p)) == canonical_alpha(p)
+
+    def test_rename_bound_apart(self):
+        p = parse("a(x).nu x x!")
+        q = rename_bound_apart(p, frozenset({"x"}))
+        assert "x" not in bound_names(q)
+        assert alpha_eq(p, q)
+
+
+@given(processes1, name_substitutions())
+def test_subst_preserves_closedness_and_fn(p, sigma):
+    """fn(p sigma) == sigma(fn(p)) — substitution acts pointwise on fn."""
+    q = apply_subst(p, sigma)
+    expected = frozenset(sigma.get(x, x) for x in free_names(p))
+    assert free_names(q) == expected
+
+
+@given(processes1)
+def test_canonical_alpha_is_alpha_invariant(p):
+    q = rename_bound_apart(p, frozenset({"a", "b", "c", "x", "y", "z"}))
+    assert canonical_alpha(p) == canonical_alpha(q)
+    assert free_names(canonical_alpha(p)) == free_names(p)
+
+
+@given(processes1, name_substitutions())
+def test_subst_commutes_with_alpha(p, sigma):
+    """Substitution is well-defined on alpha-classes."""
+    q = rename_bound_apart(p, frozenset(sigma) | frozenset(sigma.values()))
+    assert alpha_eq(apply_subst(p, sigma), apply_subst(q, sigma))

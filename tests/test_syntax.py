@@ -1,0 +1,104 @@
+"""Unit and property tests for the process AST (Table 1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.syntax import (
+    NIL,
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+    count_nodes,
+    iter_subterms,
+)
+from tests.strategies import processes1
+
+
+class TestConstruction:
+    def test_nil_is_interned(self):
+        assert Nil() is Nil()
+        assert Nil() is NIL
+
+    def test_equality_is_structural(self):
+        assert Output("a", ("b",), NIL) == Output("a", ("b",), NIL)
+        assert Output("a", ("b",), NIL) != Output("a", ("c",), NIL)
+        assert Sum(NIL, NIL) != Par(NIL, NIL)
+
+    def test_hash_consistent_with_eq(self):
+        p = Input("a", ("x",), Output("x", (), NIL))
+        q = Input("a", ("x",), Output("x", (), NIL))
+        assert p == q and hash(p) == hash(q)
+
+    def test_operators(self):
+        p, q = Tau(NIL), Output("a", (), NIL)
+        assert p + q == Sum(p, q)
+        assert p | q == Par(p, q)
+
+    def test_input_params_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            Input("a", ("x", "x"), NIL)
+
+    def test_rec_arity_checked(self):
+        with pytest.raises(ValueError):
+            Rec("X", ("x", "y"), NIL, ("a",))
+
+    def test_rec_params_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            Rec("X", ("x", "x"), NIL, ("a", "a"))
+
+    def test_bad_name_types_rejected(self):
+        with pytest.raises(TypeError):
+            Output(3, (), NIL)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            Output("a", "bc", NIL)  # bare string is not a vector
+        with pytest.raises(TypeError):
+            Tau("not a process")  # type: ignore[arg-type]
+
+    def test_output_binder_validation_lives_in_actions(self):
+        # Output *process* args may repeat (sending the same name twice).
+        assert Output("a", ("b", "b"), NIL).args == ("b", "b")
+
+
+class TestTraversal:
+    def test_children(self):
+        p = Sum(Tau(NIL), Output("a", (), NIL))
+        assert list(p.children()) == [p.left, p.right]
+
+    def test_size_and_depth(self):
+        p = Tau(Tau(NIL))
+        assert p.size() == 3
+        assert p.depth() == 3
+        assert NIL.size() == 1
+
+    def test_iter_subterms_counts(self):
+        p = Par(Sum(NIL, Tau(NIL)), Restrict("x", NIL))
+        assert count_nodes(p) == sum(1 for _ in iter_subterms(p)) == 7
+
+    def test_ident_fields(self):
+        i = Ident("X", ("a", "b"))
+        assert i.ident == "X" and i.args == ("a", "b")
+
+    def test_match_fields(self):
+        m = Match("a", "b", Tau(NIL))
+        assert m.orelse is NIL
+
+
+@given(processes1)
+def test_structural_roundtrip_via_repr(p):
+    """repr() of any process is evaluable back to an equal process."""
+    env = {c.__name__: c for c in (Nil, Tau, Input, Output, Restrict, Match,
+                                   Sum, Par, Ident, Rec)}
+    assert eval(repr(p), env) == p  # noqa: S307 - controlled test input
+
+
+@given(processes1)
+def test_size_positive_and_consistent(p):
+    assert p.size() == count_nodes(p) >= 1
+    assert p.depth() <= p.size()

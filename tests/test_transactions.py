@@ -1,0 +1,88 @@
+"""Experiment EX2 — Example 2, transaction inconsistency detection.
+
+The process system must broadcast ``error`` exactly when the transaction
+log is non-serialisable per the precedence-graph criterion; cross-checked
+against the direct reference implementation.
+"""
+
+import pytest
+
+from repro.apps.transactions import (
+    Transaction,
+    build_system,
+    conflicting_writes,
+    detects_inconsistency,
+    is_consistent_reference,
+    precedence_edges,
+    simulate,
+)
+
+T = Transaction
+
+SCENARIOS = {
+    # name: (log, consistent?)
+    "two_reads": ([T("t1", "r", "j", "p1"), T("t2", "r", "j", "p2")], True),
+    "ww_conflict": ([T("t1", "w", "j", "p1"), T("t2", "w", "j", "p2")], False),
+    "same_part_wr": ([T("t1", "w", "j", "p1"), T("t2", "r", "j", "p1")], True),
+    "same_part_rw": ([T("t1", "r", "j", "p1"), T("t2", "w", "j", "p1")], True),
+    "cross_cycle": ([T("t1", "r", "j", "p1"), T("t2", "w", "j", "p2"),
+                     T("t2", "r", "k", "p2"), T("t1", "w", "k", "p1")], False),
+    "cross_acyclic": ([T("t1", "r", "j", "p1"), T("t2", "w", "j", "p2")], True),
+    "mixed_cycle": ([T("t1", "w", "j", "p1"), T("t2", "r", "j", "p1"),
+                     T("t2", "w", "k", "p2"), T("t1", "r", "k", "p2")], False),
+}
+
+
+class TestReference:
+    def test_precedence_rules(self):
+        log = SCENARIOS["cross_cycle"][0]
+        assert precedence_edges(log) == {("t1", "t2"), ("t2", "t1")}
+
+    def test_rule1_same_partition_read_then_write(self):
+        log = [T("t1", "r", "j", "p1"), T("t2", "w", "j", "p1")]
+        assert precedence_edges(log) == {("t1", "t2")}
+
+    def test_rule2_write_then_anything(self):
+        log = [T("t1", "w", "j", "p1"), T("t2", "r", "j", "p1")]
+        assert precedence_edges(log) == {("t1", "t2")}
+
+    def test_rule3_cross_partition(self):
+        log = [T("t2", "w", "j", "p2"), T("t1", "r", "j", "p1")]
+        # order irrelevant for rule 3: the reader precedes the writer
+        assert ("t1", "t2") in precedence_edges(log)
+
+    def test_conflicting_writes(self):
+        assert conflicting_writes(SCENARIOS["ww_conflict"][0])
+        assert not conflicting_writes(SCENARIOS["two_reads"][0])
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_reference_verdicts(self, name):
+        log, consistent = SCENARIOS[name]
+        assert is_consistent_reference(log) == consistent, name
+
+
+class TestProcessSystem:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_agrees_with_reference(self, name):
+        log, consistent = SCENARIOS[name]
+        assert detects_inconsistency(log) == (not consistent), name
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            T("t1", "x", "j", "p1")
+
+    def test_simulation_no_false_positive(self):
+        log, _ = SCENARIOS["two_reads"]
+        for seed in range(4):
+            tr = simulate(log, seed=seed, max_steps=300)
+            assert not tr.observed("error")
+
+    def test_simulation_can_find_ww_conflict(self):
+        log, _ = SCENARIOS["ww_conflict"]
+        assert any(simulate(log, seed=s, max_steps=2_000).observed("error")
+                   for s in range(12))
+
+    def test_system_builds(self):
+        system = build_system(SCENARIOS["cross_cycle"][0])
+        from repro.core.freenames import is_closed
+        assert is_closed(system)

@@ -1,0 +1,104 @@
+"""Weak congruence (Definitions 14/15, Theorems 4/5).
+
+The weak noisy relation matches with ``==> alpha ==>`` answers and adds
+clause 4: a discard must be matched by a *weak discard* (silent evolution
+to a state not listening).  The weak congruence closes it under
+substitutions.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.parser import parse
+from repro.equiv.congruence import congruent
+from repro.equiv.labelled import weak_bisimilar
+from repro.equiv.noisy import noisy_similar
+from tests.strategies import processes0
+
+
+class TestWeakNoisy:
+    def test_tau_absorption(self):
+        # second tau-law shape: p + tau.p ~~+ tau.p ...
+        assert noisy_similar(parse("a! + tau.a!"), parse("tau.a!"), weak=True)
+        # ... but not ~~+ p: the tau needs a tau answer (root condition)
+        assert not noisy_similar(parse("tau.a! + a!"), parse("a!"), weak=True)
+
+    def test_outputs_weakly_matched(self):
+        assert noisy_similar(parse("a<b>.tau.c!"), parse("a<b>.c!"), weak=True)
+
+    def test_inputs_strictly_matched_weakly(self):
+        # genuine inputs still need genuine (weak) inputs in ~~+
+        assert not noisy_similar(parse("a?"), parse("b?"), weak=True)
+        assert noisy_similar(parse("tau.a(x).x!"), parse("tau.a(x).tau.x!"),
+                             weak=True)
+
+    def test_weak_remark4_analogue(self):
+        # weakly bisimilar (the extra input is noisy-invisible to ~~)
+        # but NOT weakly noisy-congruent: the h-input has no strict match
+        p = parse("tau.a!")
+        q = parse("h(x).tau.a! + tau.a!")
+        assert weak_bisimilar(p, q)
+        assert not noisy_similar(p, q, weak=True)
+
+    def test_clause4_violation(self):
+        # q always listens on h with an observable reaction: p's discard
+        # cannot be matched
+        p = parse("a!")
+        q = parse("a! + h?.c!")
+        assert not noisy_similar(p, q, weak=True)
+
+
+class TestWeakCongruence:
+    def test_theorem4_closure_under_operators(self):
+        # Milner's second tau-law  p + tau.p = tau.p  and the prefix
+        # tau-law are weak congruences
+        pairs = [(parse("a! + tau.a!"), parse("tau.a!")),
+                 (parse("b<c>.tau.0"), parse("b<c>"))]
+        r = parse("d(x).x!")
+        for p, q in pairs:
+            assert congruent(p, q, weak=True), (str(p), str(q))
+            assert congruent(p + r, q + r, weak=True)
+            assert congruent(p | r, q | r, weak=True)
+            assert congruent(parse(f"nu a ({p})"), parse(f"nu a ({q})"),
+                             weak=True)
+
+    def test_classic_tau_laws(self):
+        # Milner's tau-law  a.tau.p = a.p  holds as a weak congruence
+        assert congruent(parse("a!.tau.b!"), parse("a!.b!"), weak=True)
+        # but the initial-tau law  tau.p = p  fails (root condition):
+        # in a choice context the tau commits away from the alternative
+        assert not congruent(parse("tau.a!"), parse("a!"), weak=True)
+        assert weak_bisimilar(parse("tau.a!"), parse("a!"))
+
+    def test_weak_vs_strong(self):
+        p, q = parse("a!.tau.b!"), parse("a!.b!")
+        assert not congruent(p, q, weak=False)
+        assert congruent(p, q, weak=True)
+
+    def test_substitution_quantification_weak(self):
+        # the Remark-3 pair is also weakly non-congruent
+        p = parse("x!.y?.c! + y?.(x! | c!)")
+        q = parse("x! | y?.c!")
+        assert not congruent(p, q, weak=True)
+
+
+@given(processes0)
+@settings(max_examples=15, deadline=None)
+def test_weak_congruence_reflexive_and_tau_padded(p):
+    q = parse("a!.tau.0") + p if False else p | parse("0")
+    assert congruent(p, q, weak=True)
+
+
+@given(processes0)
+@settings(max_examples=10, deadline=None)
+def test_strong_noisy_implies_weak_noisy(p):
+    q = p | parse("0")
+    assert noisy_similar(p, q)            # strong
+    assert noisy_similar(p, q, weak=True)  # hence weak
+
+
+@given(processes0)
+@settings(max_examples=10, deadline=None)
+def test_weak_congruent_implies_weak_bisimilar(p):
+    q = (p | parse("0")) + parse("0")
+    assert congruent(p, q, weak=True)
+    assert weak_bisimilar(p, q)
