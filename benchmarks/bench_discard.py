@@ -4,6 +4,7 @@ dichotomy, measured over wide compositions."""
 import pytest
 
 from benchmarks.helpers import broadcast_star, random_finite
+from repro.core.cache import clear_caches
 from repro.core.discard import discards, listening_channels
 from repro.core.freenames import free_names
 from repro.core.semantics import input_continuations
@@ -14,8 +15,7 @@ def test_discard_scaling(benchmark, n):
     p = broadcast_star(n)
 
     def check():
-        discards.cache_clear()
-        listening_channels.cache_clear()
+        clear_caches()
         assert not discards(p, "a")
         assert discards(p, "nope")
         return listening_channels(p)

@@ -10,6 +10,7 @@ import pytest
 from benchmarks.helpers import broadcast_star, random_finite, token_ring
 from repro.core.actions import OutputAction
 from repro.core.builder import inp, nu, out, par
+from repro.core.cache import clear_caches
 from repro.core.freenames import free_names
 from repro.core.names import NameUniverse
 from repro.core.semantics import step_transitions, transitions
@@ -20,7 +21,7 @@ def test_atomic_broadcast_scaling(benchmark, n):
     p = broadcast_star(n)
 
     def enumerate_steps():
-        step_transitions.cache_clear()
+        clear_caches()
         moves = step_transitions(p)
         [(act, target)] = [(a, t) for a, t in moves
                            if isinstance(a, OutputAction) and a.chan == "a"]
@@ -36,7 +37,7 @@ def test_token_ring_step(benchmark, n):
     p = token_ring(n)
 
     def enumerate_steps():
-        step_transitions.cache_clear()
+        clear_caches()
         return step_transitions(p)
 
     moves = benchmark(enumerate_steps)
@@ -50,7 +51,7 @@ def test_extrusion_to_n_receivers(benchmark, n):
     p = par(nu("tok", out("a", "tok")), *receivers)
 
     def enumerate_steps():
-        step_transitions.cache_clear()
+        clear_caches()
         return step_transitions(p)
 
     moves = benchmark(enumerate_steps)

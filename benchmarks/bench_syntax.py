@@ -7,6 +7,7 @@ terms; the checked artifact is ``parse(pretty(p)) == p``.
 import pytest
 
 from benchmarks.helpers import broadcast_star, random_finite
+from repro.core.cache import clear_caches
 from repro.core.canonical import canonical_state
 from repro.core.parser import parse
 from repro.core.pretty import pretty
@@ -31,8 +32,8 @@ def test_canonicalization(benchmark, n):
     p = broadcast_star(n)
 
     def canon():
-        canonical_state.cache_clear()
-        return canonical_state(p)
+        clear_caches()
+        return canonical_state(broadcast_star(n))
 
     result = benchmark(canon)
     assert result.size() >= n

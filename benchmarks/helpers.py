@@ -9,9 +9,30 @@ EXPERIMENTS.md can record paper-claim vs measured-verdict rows.
 from __future__ import annotations
 
 import random
+import time
+from typing import Any, Callable
 
 from repro.core.builder import choice, inp, nu, out, par, tau
 from repro.core.syntax import NIL, Process
+
+
+def time_call(fn: Callable[[], Any], *, repeats: int = 3,
+              setup: Callable[[], Any] | None = None) -> dict[str, float]:
+    """Wall-clock a thunk: run *setup* + *fn* *repeats* times, keep stats.
+
+    Returns ``{"best": ..., "mean": ..., "repeats": ...}`` (seconds).  The
+    best-of-N is the robust number for trend tracking (BENCH_report.json);
+    the mean is kept for judging run-to-run noise.
+    """
+    times: list[float] = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {"best": min(times), "mean": sum(times) / len(times),
+            "repeats": float(repeats)}
 
 
 def broadcast_star(n_receivers: int, chan: str = "a") -> Process:

@@ -6,91 +6,100 @@ defines is the ledger of claims; this harness recomputes every verdict
 with the implemented checkers and prints the rows.  A MISMATCH line means
 the library no longer reproduces the paper.
 
-Run:  python benchmarks/report.py
+Run:  python benchmarks/report.py [--json [PATH]] [--rows A,B,...] [--quick]
+
+``--json`` additionally writes per-row wall-clock times and verdicts to
+``BENCH_report.json`` (or PATH), so the performance trajectory of the
+checkers is tracked PR over PR.  ``--quick`` restricts to a cheap smoke
+subset (used by CI); ``--rows`` selects experiments by name.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from typing import Callable
 
-from repro.apps.cycle_detection import detects_cycle, has_cycle_reference
-from repro.apps.ram import (
-    emitted_channels,
-    program_add,
-    run_encoded,
-    run_reference,
-)
-from repro.apps.transactions import (
-    Transaction,
-    detects_inconsistency,
-    is_consistent_reference,
-)
-from repro.axioms.decide import congruent_finite
-from repro.axioms.system import all_axiom_instances
-from repro.calculi.pi import pi_barbed_bisimilar
-from repro.core.parser import parse
-from repro.equiv.barbed import strong_barbed_bisimilar
-from repro.equiv.congruence import congruent
-from repro.equiv.labelled import strong_bisimilar, weak_bisimilar
-from repro.equiv.maytesting import may_equivalent_sampled, output_traces
-from repro.equiv.noisy import noisy_similar
-from repro.equiv.step import strong_step_bisimilar
+#: Experiment registry: (name, claim, thunk).  Thunks return the verdict.
+EXPERIMENTS: list[tuple[str, str, Callable[[], bool]]] = []
 
-ROWS: list[tuple[str, str]] = []
+#: The cheap subset exercised by CI's smoke run.
+QUICK_ROWS = ("T2/T3", "R1", "R2", "TH1", "EX1")
 
 
-def row(exp: str, claim: str, verdict: bool, t0: float) -> None:
-    status = "ok " if verdict else "MISMATCH"
-    print(f"{exp:6s} {status:9s} {time.time() - t0:6.2f}s  {claim}")
-    ROWS.append((exp, status))
+def experiment(name: str, claim: str):
+    def register(fn: Callable[[], bool]) -> Callable[[], bool]:
+        EXPERIMENTS.append((name, claim, fn))
+        return fn
+    return register
 
 
-def main() -> None:
-    print(f"{'exp':6s} {'verdict':9s} {'time':>7s}  claim")
-    print("-" * 100)
-
-    t = time.time()
+@experiment("T2/T3", "broadcast serves all listeners atomically; dichotomy holds")
+def _t2_t3() -> bool:
+    from repro.core.parser import parse
     from repro.core.semantics import step_transitions
-    row("T2/T3", "broadcast serves all listeners atomically; dichotomy holds",
-        any(str(tgt) == "0 | c! | d!"
-            for _, tgt in step_transitions(parse("a! | a?.c! | a?.d!"))), t)
+    return any(str(tgt) == "0 | c! | d!"
+               for _, tgt in step_transitions(parse("a! | a?.c! | a?.d!")))
 
-    t = time.time()
-    row("R1", "~b holds for a<b> vs a<b>.c<d> but breaks under nu a",
-        strong_barbed_bisimilar(parse("a<b>"), parse("a<b>.c<d>"))
-        and not strong_barbed_bisimilar(parse("nu a a<b>"),
-                                        parse("nu a a<b>.c<d>")), t)
 
-    t = time.time()
+@experiment("R1", "~b holds for a<b> vs a<b>.c<d> but breaks under nu a")
+def _r1() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.barbed import strong_barbed_bisimilar
+    return (strong_barbed_bisimilar(parse("a<b>"), parse("a<b>.c<d>"))
+            and not strong_barbed_bisimilar(parse("nu a a<b>"),
+                                            parse("nu a a<b>.c<d>")))
+
+
+@experiment("R2", "~phi not preserved by || nor nu; ~b/~phi incomparable")
+def _r2() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.barbed import strong_barbed_bisimilar
+    from repro.equiv.step import strong_step_bisimilar
     p1, q1, r1 = parse("b! + tau.c!"), parse("b! + b!.c!"), parse("b?.a!")
-    row("R2", "~phi not preserved by || nor nu; ~b/~phi incomparable",
-        strong_step_bisimilar(p1, q1)
-        and not strong_step_bisimilar(p1 | r1, q1 | r1)
-        and strong_step_bisimilar(parse("b<a>.a!"), parse("b<c>.a!"))
-        and not strong_step_bisimilar(parse("nu a b<a>.a!"),
-                                      parse("nu a b<c>.a!"))
-        and not strong_barbed_bisimilar(p1, q1)
-        and strong_barbed_bisimilar(parse("nu a b<a>.a!"),
-                                    parse("nu a b<c>.a!")), t)
+    return (strong_step_bisimilar(p1, q1)
+            and not strong_step_bisimilar(p1 | r1, q1 | r1)
+            and strong_step_bisimilar(parse("b<a>.a!"), parse("b<c>.a!"))
+            and not strong_step_bisimilar(parse("nu a b<a>.a!"),
+                                          parse("nu a b<c>.a!"))
+            and not strong_barbed_bisimilar(p1, q1)
+            and strong_barbed_bisimilar(parse("nu a b<a>.a!"),
+                                        parse("nu a b<c>.a!")))
 
-    t = time.time()
-    row("R3", "~ not preserved by + nor substitution",
-        strong_bisimilar(parse("a?"), parse("b?"))
-        and not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
-        and strong_bisimilar(parse("x!.y?.c! + y?.(x! | c!)"),
-                             parse("x! | y?.c!"))
-        and not strong_bisimilar(parse("x!.x?.c! + x?.(x! | c!)"),
-                                 parse("x! | x?.c!")), t)
 
-    t = time.time()
+@experiment("R3", "~ not preserved by + nor substitution")
+def _r3() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.labelled import strong_bisimilar
+    return (strong_bisimilar(parse("a?"), parse("b?"))
+            and not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
+            and strong_bisimilar(parse("x!.y?.c! + y?.(x! | c!)"),
+                                 parse("x! | y?.c!"))
+            and not strong_bisimilar(parse("x!.x?.c! + x?.(x! | c!)"),
+                                     parse("x! | x?.c!")))
+
+
+@experiment("R4", "~c strictly inside ~+ strictly inside ~")
+def _r4() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.congruence import congruent
+    from repro.equiv.labelled import strong_bisimilar
+    from repro.equiv.noisy import noisy_similar
     pr3 = parse("x!.y?.c! + y?.(x! | c!)")
     qr3 = parse("x! | y?.c!")
-    row("R4", "~c strictly inside ~+ strictly inside ~",
-        strong_bisimilar(parse("a?"), parse("b?"))
-        and not noisy_similar(parse("a?"), parse("b?"))
-        and noisy_similar(pr3, qr3) and not congruent(pr3, qr3), t)
+    return (strong_bisimilar(parse("a?"), parse("b?"))
+            and not noisy_similar(parse("a?"), parse("b?"))
+            and noisy_similar(pr3, qr3) and not congruent(pr3, qr3))
 
-    t = time.time()
+
+@experiment("TH1", "the three equivalences agree (curated pairs)")
+def _th1() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.barbed import strong_barbed_bisimilar
+    from repro.equiv.labelled import strong_bisimilar
+    from repro.equiv.step import strong_step_bisimilar
     agree = True
     for lhs, rhs in [("a?", "0"), ("a! | b?", "a!.b? + b?.(a! | 0)"),
                      ("a!", "b!"), ("a! + b!", "a!.b!")]:
@@ -98,70 +107,150 @@ def main() -> None:
         v = strong_bisimilar(pl, pr)
         agree &= (strong_barbed_bisimilar(pl, pr) == v
                   == strong_step_bisimilar(pl, pr))
-    row("TH1", "the three equivalences agree (curated pairs)", agree, t)
+    return agree
 
-    t = time.time()
-    sound = all(congruent(eq.lhs, eq.rhs) for eq in all_axiom_instances(
+
+@experiment("TH6", "every Table 6/7 axiom instance is a congruence")
+def _th6() -> bool:
+    from repro.axioms.system import all_axiom_instances
+    from repro.core.parser import parse
+    from repro.equiv.congruence import congruent
+    return all(congruent(eq.lhs, eq.rhs) for eq in all_axiom_instances(
         parse("a(w).w<b>"), parse("c<c>"), parse("tau.b<a>")))
-    row("TH6", "every Table 6/7 axiom instance is a congruence", sound, t)
 
-    t = time.time()
+
+@experiment("TH7", "syntactic decision == semantic congruence (exhaustive pool)")
+def _th7() -> bool:
     import itertools
+
+    from repro.axioms.decide import congruent_finite
     from repro.core.syntax import NIL, Input, Output, Sum, Tau
+    from repro.equiv.congruence import congruent
     atoms = [NIL, Output("a", (), NIL), Input("a", (), NIL), Tau(NIL)]
     pool = atoms + [Sum(x, y) for x, y in itertools.product(atoms, repeat=2)]
-    complete = all(congruent_finite(p, q) == congruent(p, q)
-                   for p, q in itertools.combinations(pool[:12], 2))
-    row("TH7", "syntactic decision == semantic congruence (exhaustive pool)",
-        complete, t)
+    return all(congruent_finite(p, q) == congruent(p, q)
+               for p, q in itertools.combinations(pool[:12], 2))
 
-    t = time.time()
+
+@experiment("EX1", "cycle detector agrees with the graph algorithm")
+def _ex1() -> bool:
+    from repro.apps.cycle_detection import detects_cycle, has_cycle_reference
     graphs = [[("a", "b"), ("b", "c"), ("c", "a")], [("a", "b"), ("b", "c")],
               [("a", "b"), ("b", "a")], [("a", "b")]]
-    ex1 = all(detects_cycle(g) == has_cycle_reference(g) for g in graphs)
-    row("EX1", "cycle detector agrees with the graph algorithm", ex1, t)
+    return all(detects_cycle(g) == has_cycle_reference(g) for g in graphs)
 
-    t = time.time()
-    T = Transaction
+
+@experiment("EX2", "transaction detector agrees with the serialisability check")
+def _ex2() -> bool:
+    from repro.apps.transactions import (
+        Transaction as T,
+        detects_inconsistency,
+        is_consistent_reference,
+    )
     logs = [[T("t1", "w", "j", "p1"), T("t2", "w", "j", "p2")],
             [T("t1", "r", "j", "p1"), T("t2", "r", "j", "p2")],
             [T("t1", "r", "j", "p1"), T("t2", "w", "j", "p2"),
              T("t2", "r", "k", "p2"), T("t1", "w", "k", "p1")]]
-    ex2 = all(detects_inconsistency(log) == (not is_consistent_reference(log))
-              for log in logs)
-    row("EX2", "transaction detector agrees with the serialisability check",
-        ex2, t)
+    return all(detects_inconsistency(log) == (not is_consistent_reference(log))
+               for log in logs)
 
-    t = time.time()
+
+@experiment("S6a", "encoded RAM reproduces the reference interpreter (2+3)")
+def _s6a() -> bool:
+    from repro.apps.ram import (
+        emitted_channels,
+        program_add,
+        run_encoded,
+        run_reference,
+    )
     prog = program_add("x", "y", "s")
     _, ref = run_reference(prog, {"x": 2, "y": 3})
     trace = run_encoded(prog, {"x": 2, "y": 3}, max_steps=20_000)
-    row("S6a", "encoded RAM reproduces the reference interpreter (2+3)",
-        trace.observed("halted")
-        and len(emitted_channels(trace, prog)) == len(ref), t)
+    return (trace.observed("halted")
+            and len(emitted_channels(trace, prog)) == len(ref))
 
-    t = time.time()
+
+@experiment("S6c", "a!.(b!+c!) vs a!.b!+a!.c!: not ~~, but may-equivalent")
+def _s6c() -> bool:
+    from repro.core.parser import parse
+    from repro.equiv.labelled import weak_bisimilar
+    from repro.equiv.maytesting import may_equivalent_sampled, output_traces
     lhs, rhs = parse("a!.(b! + c!)"), parse("a!.b! + a!.c!")
-    row("S6c", "a!.(b!+c!) vs a!.b!+a!.c!: not ~~, but may-equivalent",
-        not weak_bisimilar(lhs, rhs)
-        and may_equivalent_sampled(lhs, rhs)
-        and output_traces(lhs) == output_traces(rhs), t)
+    return (not weak_bisimilar(lhs, rhs)
+            and may_equivalent_sampled(lhs, rhs)
+            and output_traces(lhs) == output_traces(rhs))
 
-    t = time.time()
+
+@experiment("pi", "congruence-property swap vs the pi-calculus")
+def _pi() -> bool:
+    from repro.calculi.pi import pi_barbed_bisimilar
+    from repro.core.parser import parse
+    from repro.equiv.barbed import strong_barbed_bisimilar
     p0, q0 = parse("a<b>"), parse("a<b>.c<d>")
     r = parse("a(x).0")
-    row("pi", "congruence-property swap vs the pi-calculus",
-        strong_barbed_bisimilar(p0 | r, q0 | r)
-        and not pi_barbed_bisimilar(p0 | r, q0 | r)
-        and pi_barbed_bisimilar(parse("nu a a<b>"), parse("nu a a<b>.c<d>"))
-        and not strong_barbed_bisimilar(parse("nu a a<b>"),
-                                        parse("nu a a<b>.c<d>")), t)
+    return (strong_barbed_bisimilar(p0 | r, q0 | r)
+            and not pi_barbed_bisimilar(p0 | r, q0 | r)
+            and pi_barbed_bisimilar(parse("nu a a<b>"), parse("nu a a<b>.c<d>"))
+            and not strong_barbed_bisimilar(parse("nu a a<b>"),
+                                            parse("nu a a<b>.c<d>")))
 
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", nargs="?", const="BENCH_report.json",
+                    default=None, metavar="PATH",
+                    help="write per-row wall-clock times to PATH "
+                         "(default BENCH_report.json)")
+    ap.add_argument("--rows", default=None,
+                    help="comma-separated experiment names to run")
+    ap.add_argument("--quick", action="store_true",
+                    help=f"run only the smoke subset {','.join(QUICK_ROWS)}")
+    args = ap.parse_args(argv)
+
+    selected = None
+    if args.rows:
+        selected = {r.strip() for r in args.rows.split(",")}
+    elif args.quick:
+        selected = set(QUICK_ROWS)
+    todo = [(n, c, f) for n, c, f in EXPERIMENTS
+            if selected is None or n in selected]
+    if selected is not None:
+        unknown = selected - {n for n, _, _ in todo}
+        if unknown:
+            ap.error(f"unknown experiment rows: {sorted(unknown)}")
+
+    print(f"{'exp':6s} {'verdict':9s} {'time':>7s}  claim")
     print("-" * 100)
-    bad = [e for e, s in ROWS if s != "ok "]
-    print(f"{len(ROWS)} claims checked; "
+    rows = []
+    wall0 = time.time()
+    for name, claim, fn in todo:
+        t0 = time.perf_counter()
+        verdict = fn()
+        elapsed = time.perf_counter() - t0
+        status = "ok " if verdict else "MISMATCH"
+        print(f"{name:6s} {status:9s} {elapsed:6.2f}s  {claim}")
+        rows.append({"exp": name, "claim": claim, "verdict": bool(verdict),
+                     "seconds": elapsed})
+    print("-" * 100)
+    bad = [r["exp"] for r in rows if not r["verdict"]]
+    print(f"{len(rows)} claims checked; "
           + ("ALL REPRODUCED" if not bad else f"MISMATCHES: {bad}"))
+
+    if args.json:
+        from repro.core import cache_stats
+        payload = {
+            "schema": 1,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "total_seconds": time.time() - wall0,
+            "rows": rows,
+            "cache": cache_stats(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if bad else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -18,6 +18,7 @@ from .builder import (
     par,
     tau,
 )
+from .cache import cache_stats, clear_caches
 from .canonical import canonical_state
 from .discard import discards, listening_channels
 from .freenames import all_names, bound_names, check_guarded, free_names, is_closed
@@ -60,6 +61,7 @@ __all__ = [
     "TAU", "Action", "InputAction", "OutputAction", "TauAction",
     "bang_like", "call", "choice", "define", "inp", "match_eq", "match_ne",
     "nu", "out", "par", "tau",
+    "cache_stats", "clear_caches",
     "canonical_state",
     "discards", "listening_channels",
     "all_names", "bound_names", "check_guarded", "free_names", "is_closed",

@@ -1,0 +1,69 @@
+"""Central control over the term kernel's caches.
+
+The hash-consing kernel (:mod:`repro.core.syntax`) interns every process
+term and memoizes semantic results (free names, canonical forms, step
+transitions, barbs ...) directly on the interned nodes.  A handful of
+multi-argument relations (``discards(p, a)``, ``input_continuations(p, a,
+v~)``) still live in ``functools.lru_cache``s.  This module gives tests and
+benchmarks one switch for all of it:
+
+* :func:`clear_caches` — forget every memoized result and empty the intern
+  table, returning the kernel to a cold state (live terms held by callers
+  stay usable; they simply re-intern/recompute on next use).
+* :func:`cache_stats` — intern-table hit/miss counters and sizes of the
+  remaining ``lru_cache``s, for benchmark reporting.
+
+Clearing is also the memory-reclamation hook: the intern table holds strong
+references, so a long-running service embedding the library should call
+:func:`clear_caches` between unrelated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from . import syntax
+
+
+def _lru_functions() -> list[Callable[..., Any]]:
+    """The surviving multi-argument ``lru_cache``s, collected lazily so the
+    calculi sub-package (which imports ``repro.core``) stays import-safe."""
+    from . import discard, semantics
+
+    fns: list[Callable[..., Any]] = [
+        discard.discards,
+        semantics.input_continuations,
+    ]
+    try:
+        from ..calculi import cbs, pi
+        fns += [pi.pi_step_transitions, pi.pi_input_continuations,
+                pi.pi_barbs, cbs.speaks, cbs.hears]
+    except ImportError:  # pragma: no cover - calculi are optional extras
+        pass
+    return fns
+
+
+def clear_caches() -> None:
+    """Reset the term kernel to a cold state.
+
+    Purges all node-level memoized results, empties the intern table (and
+    its hit/miss counters) and clears the remaining ``lru_cache``s.
+    """
+    syntax.clear_intern_table()
+    for fn in _lru_functions():
+        fn.cache_clear()
+
+
+def cache_stats() -> dict[str, Any]:
+    """A snapshot of the kernel's cache state.
+
+    Returns the intern-table counters from
+    :func:`repro.core.syntax.intern_stats` plus the current size of each
+    surviving ``lru_cache``.
+    """
+    stats: dict[str, Any] = dict(syntax.intern_stats())
+    for fn in _lru_functions():
+        info = fn.cache_info()
+        stats[f"lru.{fn.__name__}"] = {
+            "hits": info.hits, "misses": info.misses, "size": info.currsize}
+    return stats

@@ -26,8 +26,6 @@ untouched apart from the final global alpha-canonicalization.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from .freenames import free_names
 from .names import Name, fresh_name
 from .substitution import apply_subst, canonical_alpha
@@ -43,6 +41,7 @@ from .syntax import (
     Restrict,
     Sum,
     Tau,
+    purge_node_caches,
 )
 
 
@@ -77,13 +76,22 @@ def _sort_key(p: Process) -> tuple:
     return (c.__class__.__name__, hash(c))
 
 
-@lru_cache(maxsize=65536)
 def canonical_state(p: Process) -> Process:
-    """The canonical representative of *p*'s structural-congruence class."""
-    return canonical_alpha(_normalize(p, False))
+    """The canonical representative of *p*'s structural-congruence class.
+
+    Memoized on the interned node: exploring a state space recanonicalizes
+    the same shared subterms over and over, and with hash-consing those are
+    pointer-identical, so the cache hit is a slot read.
+    """
+    try:
+        return p._canon
+    except AttributeError:
+        pass
+    result = canonical_alpha(_normalize(p, False))
+    p._canon = result
+    return result
 
 
-@lru_cache(maxsize=65536)
 def canonical_state_collapsed(p: Process) -> Process:
     """Canonical form that additionally collapses *identical* parallel
     components (``q || q`` becomes ``q``).
@@ -98,10 +106,36 @@ def canonical_state_collapsed(p: Process) -> Process:
     gain finite state spaces: the cycle detector's re-broadcast tokens
     would otherwise pile up duplicate one-shot emitters without bound.
     """
-    return canonical_alpha(_normalize(p, True))
+    try:
+        return p._canon2
+    except AttributeError:
+        pass
+    result = canonical_alpha(_normalize(p, True))
+    p._canon2 = result
+    return result
+
+
+canonical_state.cache_clear = (  # type: ignore[attr-defined]
+    lambda: purge_node_caches(("_canon", "_nf")))
+canonical_state_collapsed.cache_clear = (  # type: ignore[attr-defined]
+    lambda: purge_node_caches(("_canon2", "_nf2")))
 
 
 def _normalize(p: Process, collapse: bool) -> Process:
+    # Memoized per interned node (one slot per collapse mode): sibling
+    # states of an exploration share almost all of their components, so
+    # normalizing a successor mostly re-reads slots.
+    slot = "_nf2" if collapse else "_nf"
+    try:
+        return getattr(p, slot)
+    except AttributeError:
+        pass
+    result = _normalize_uncached(p, collapse)
+    setattr(p, slot, result)
+    return result
+
+
+def _normalize_uncached(p: Process, collapse: bool) -> Process:
     if isinstance(p, (Nil, Tau, Input, Output, Rec)):
         # Prefixes and folded recursions are atomic at the state level.
         return p

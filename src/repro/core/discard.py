@@ -38,6 +38,7 @@ from .syntax import (
     Restrict,
     Sum,
     Tau,
+    purge_node_caches,
 )
 
 
@@ -70,7 +71,6 @@ def discards(p: Process, a: Name) -> bool:
     raise TypeError(f"unknown process node {type(p).__name__}")
 
 
-@lru_cache(maxsize=65536)
 def listening_channels(p: Process) -> frozenset[Name]:
     """The set ``In(p)`` of channels *p* is currently listening on.
 
@@ -79,6 +79,16 @@ def listening_channels(p: Process) -> frozenset[Name]:
     available to *p*.  Only free names can be listened on from outside, so
     the result is a subset of ``fn(p)``.
     """
+    try:
+        return p._listen
+    except AttributeError:
+        pass
+    result = _listening_channels(p)
+    p._listen = result
+    return result
+
+
+def _listening_channels(p: Process) -> frozenset[Name]:
     if isinstance(p, (Nil, Tau, Output)):
         return frozenset()
     if isinstance(p, Input):
@@ -98,3 +108,7 @@ def listening_channels(p: Process) -> frozenset[Name]:
         raise ValueError(
             f"In(p) undefined on open process (free identifier {p.ident!r})")
     raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+listening_channels.cache_clear = (  # type: ignore[attr-defined]
+    lambda: purge_node_caches(("_listen",)))

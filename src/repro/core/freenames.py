@@ -13,8 +13,6 @@ open-process machinery (Definition 12).
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from .names import Name
 from .syntax import (
     Ident,
@@ -28,12 +26,22 @@ from .syntax import (
     Restrict,
     Sum,
     Tau,
+    purge_node_caches,
 )
 
 
-@lru_cache(maxsize=65536)
 def free_names(p: Process) -> frozenset[Name]:
-    """The set ``fn(p)`` of free names of *p*."""
+    """The set ``fn(p)`` of free names of *p* (memoized on the node)."""
+    try:
+        return p._fn
+    except AttributeError:
+        pass
+    result = _free_names(p)
+    p._fn = result
+    return result
+
+
+def _free_names(p: Process) -> frozenset[Name]:
     if isinstance(p, Nil):
         return frozenset()
     if isinstance(p, Tau):
@@ -57,9 +65,18 @@ def free_names(p: Process) -> frozenset[Name]:
     raise TypeError(f"unknown process node {type(p).__name__}")
 
 
-@lru_cache(maxsize=65536)
 def bound_names(p: Process) -> frozenset[Name]:
-    """The set ``bn(p)`` of names bound somewhere in *p*."""
+    """The set ``bn(p)`` of names bound somewhere in *p* (node-memoized)."""
+    try:
+        return p._bn
+    except AttributeError:
+        pass
+    result = _bound_names(p)
+    p._bn = result
+    return result
+
+
+def _bound_names(p: Process) -> frozenset[Name]:
     if isinstance(p, Nil):
         return frozenset()
     if isinstance(p, Tau):
@@ -79,6 +96,11 @@ def bound_names(p: Process) -> frozenset[Name]:
     if isinstance(p, Rec):
         return bound_names(p.body) | frozenset(p.params)
     raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+# Drop-in replacements for the former lru_cache methods.
+free_names.cache_clear = lambda: purge_node_caches(("_fn",))  # type: ignore[attr-defined]
+bound_names.cache_clear = lambda: purge_node_caches(("_bn",))  # type: ignore[attr-defined]
 
 
 def all_names(p: Process) -> frozenset[Name]:

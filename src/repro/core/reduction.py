@@ -12,24 +12,31 @@
 from __future__ import annotations
 
 from collections import deque
-from functools import lru_cache
 from typing import Callable, Iterator
 
 from .actions import OutputAction, TauAction
 from .names import Name
 from .semantics import step_transitions
-from .syntax import Process
+from .syntax import Process, purge_node_caches
 
 
-@lru_cache(maxsize=65536)
 def barbs(p: Process) -> frozenset[Name]:
     """The strong barbs of *p*: subjects of immediately available outputs.
 
     In a broadcast calculus only outputs are observable — sending is
     non-blocking, so an observer cannot tell reception from discarding.
     """
-    return frozenset(a.chan for a, _ in step_transitions(p)
-                     if isinstance(a, OutputAction))
+    try:
+        return p._barbs
+    except AttributeError:
+        pass
+    result = frozenset(a.chan for a, _ in step_transitions(p)
+                       if isinstance(a, OutputAction))
+    p._barbs = result
+    return result
+
+
+barbs.cache_clear = lambda: purge_node_caches(("_barbs",))  # type: ignore[attr-defined]
 
 
 def has_barb(p: Process, chan: Name) -> bool:

@@ -46,6 +46,7 @@ from .syntax import (
     Restrict,
     Sum,
     Tau,
+    purge_node_caches,
 )
 
 #: A transition: (action, target process).
@@ -79,13 +80,24 @@ def freshen_action_binders(action: OutputAction, residual: Process,
     return new_action, apply_subst(residual, mapping)
 
 
-@lru_cache(maxsize=65536)
 def step_transitions(p: Process) -> tuple[Transition, ...]:
     """All ``p -phi-> p'`` with ``phi`` an output or ``tau``.
 
     These are the "steps" of Section 3.2 — the real reduction relation of a
-    broadcast calculus, since a sender never waits for receivers.
+    broadcast calculus, since a sender never waits for receivers.  Memoized
+    on the interned node: parallel compositions share subterms heavily, so
+    the recursion bottoms out in slot reads.
     """
+    try:
+        return p._steps
+    except AttributeError:
+        pass
+    result = _step_transitions(p)
+    p._steps = result
+    return result
+
+
+def _step_transitions(p: Process) -> tuple[Transition, ...]:
     if isinstance(p, (Nil, Input)):
         return ()
     if isinstance(p, Tau):
@@ -226,13 +238,22 @@ def input_continuations(p: Process, chan: Name,
     raise TypeError(f"unknown process node {type(p).__name__}")
 
 
-@lru_cache(maxsize=65536)
 def input_capabilities(p: Process) -> frozenset[tuple[Name, int]]:
     """The (channel, arity) pairs at which *p* can currently receive.
 
     The channels here are exactly ``In(p)`` (when *p* is well-sorted); the
     arity accompanies them so exploration knows which vectors to offer.
     """
+    try:
+        return p._caps
+    except AttributeError:
+        pass
+    result = _input_capabilities(p)
+    p._caps = result
+    return result
+
+
+def _input_capabilities(p: Process) -> frozenset[tuple[Name, int]]:
     if isinstance(p, (Nil, Tau, Output)):
         return frozenset()
     if isinstance(p, Input):
@@ -251,6 +272,10 @@ def input_capabilities(p: Process) -> frozenset[tuple[Name, int]]:
         raise ValueError(
             f"cannot inspect open process (free identifier {p.ident!r})")
     raise TypeError(f"unknown process node {type(p).__name__}")
+
+
+step_transitions.cache_clear = lambda: purge_node_caches(("_steps",))  # type: ignore[attr-defined]
+input_capabilities.cache_clear = lambda: purge_node_caches(("_caps",))  # type: ignore[attr-defined]
 
 
 def transitions(p: Process, universe) -> list[Transition]:

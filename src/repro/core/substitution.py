@@ -10,7 +10,6 @@ terms are alpha-equivalent iff their canonical forms are structurally equal
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Mapping
 
 from .freenames import free_names
@@ -27,6 +26,7 @@ from .syntax import (
     Restrict,
     Sum,
     Tau,
+    purge_node_caches,
 )
 
 #: Reserved prefix for canonical bound names; the parser rejects user names
@@ -188,14 +188,26 @@ def unfold_rec(p: Rec) -> Process:
 # Canonical alpha-renaming and alpha-equality
 # --------------------------------------------------------------------------
 
-@lru_cache(maxsize=65536)
 def canonical_alpha(p: Process) -> Process:
     """Rename every binder of *p* to a canonical indexed name.
 
     Two processes are alpha-equivalent iff their canonical forms are equal.
     Canonical names are assigned in pre-order, so the result is deterministic
-    and independent of the original bound names.
+    and independent of the original bound names.  The result is memoized on
+    the interned node; it is a fixpoint of the renaming, so the canonical
+    form points at itself.
     """
+    try:
+        return p._alpha
+    except AttributeError:
+        pass
+    result = _canonical_alpha(p)
+    p._alpha = result
+    result._alpha = result
+    return result
+
+
+def _canonical_alpha(p: Process) -> Process:
     counter = [0]
 
     def next_name() -> Name:
@@ -241,6 +253,9 @@ def canonical_alpha(p: Process) -> Process:
         raise TypeError(f"unknown process node {type(q).__name__}")
 
     return walk(p, {})
+
+
+canonical_alpha.cache_clear = lambda: purge_node_caches(("_alpha",))  # type: ignore[attr-defined]
 
 
 def alpha_eq(p: Process, q: Process) -> bool:

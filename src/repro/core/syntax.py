@@ -17,6 +17,15 @@ Process terms are immutable trees with cached structural hashes, so they can
 be used as dictionary keys / set members during state-space exploration.
 Node classes expose a uniform ``_fields`` protocol used by generic traversal
 code (free names, substitution, printing).
+
+Terms are **hash-consed**: every constructor call is routed through a
+per-process intern table, so structurally equal terms are the *same*
+object.  This makes ``==`` an identity check in the common case, dict/set
+operations O(1) without tree walks, and lets semantic functions cache
+their results directly on the node (``free_names``, ``canonical_state``,
+``step_transitions`` ... use the ``_NODE_CACHE_SLOTS`` below instead of
+module-level ``lru_cache``s).  :mod:`repro.core.cache` exposes
+``clear_caches()`` / ``cache_stats()`` over this machinery.
 """
 
 from __future__ import annotations
@@ -25,15 +34,103 @@ from typing import Any, Iterator
 
 from .names import Name
 
+#: Slots reserved on every node for memoized semantic results.  Each is
+#: owned by one function (see repro.core.cache for the mapping); they are
+#: pure functions of the term's structure, so sharing nodes shares results.
+_NODE_CACHE_SLOTS = (
+    "_fn",       # freenames.free_names
+    "_bn",       # freenames.bound_names
+    "_canon",    # canonical.canonical_state
+    "_canon2",   # canonical.canonical_state_collapsed
+    "_alpha",    # substitution.canonical_alpha
+    "_steps",    # semantics.step_transitions
+    "_caps",     # semantics.input_capabilities
+    "_barbs",    # reduction.barbs
+    "_listen",   # discard.listening_channels
+    "_nf",       # canonical._normalize(p, collapse=False)
+    "_nf2",      # canonical._normalize(p, collapse=True)
+)
 
-class Process:
+#: The global intern table: structural key -> the unique node.
+_INTERN: dict[tuple, "Process"] = {}
+
+#: Intern-table hit/miss counters (reset by clear_intern_table).
+_INTERN_STATS = {"hits": 0, "misses": 0}
+
+
+class _InternMeta(type):
+    """Metaclass routing construction through the intern table.
+
+    The candidate node is built normally (validation + hash) and then
+    deduplicated against the table; the table key is the structural
+    ``_key()``, whose Process members are already interned, so key hashing
+    and comparison are shallow.
+    """
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> "Process":
+        if not kwargs and len(args) == len(cls._fields):
+            # Fast path: positional args in already-normalized form (the
+            # overwhelmingly common case in rewriting loops) can be matched
+            # against the table without building a candidate.  A miss here
+            # is not authoritative — un-normalized spellings fall through.
+            try:
+                cached = _INTERN.get((cls,) + args)
+            except TypeError:  # unhashable spelling, e.g. a list of names
+                cached = None
+            if cached is not None:
+                _INTERN_STATS["hits"] += 1
+                return cached
+        obj = super().__call__(*args, **kwargs)
+        key = obj._key()
+        cached = _INTERN.get(key)
+        if cached is not None:
+            _INTERN_STATS["hits"] += 1
+            return cached
+        _INTERN_STATS["misses"] += 1
+        _INTERN[key] = obj
+        return obj
+
+
+def purge_node_caches(slots: tuple[str, ...] = _NODE_CACHE_SLOTS) -> None:
+    """Drop the given memoized results from every interned node."""
+    for node in _INTERN.values():
+        for slot in slots:
+            try:
+                delattr(node, slot)
+            except AttributeError:
+                pass
+
+
+def clear_intern_table() -> None:
+    """Purge node caches, empty the intern table and reset its stats.
+
+    Live terms held by callers stay valid (equality falls back to the
+    structural comparison), but new terms re-intern from scratch.
+    """
+    purge_node_caches()
+    _INTERN.clear()
+    _INTERN_STATS["hits"] = 0
+    _INTERN_STATS["misses"] = 0
+
+
+def intern_stats() -> dict[str, int | float]:
+    """Hit/miss counters and current size of the intern table."""
+    hits, misses = _INTERN_STATS["hits"], _INTERN_STATS["misses"]
+    total = hits + misses
+    return {"interned": len(_INTERN), "hits": hits, "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0}
+
+
+class Process(metaclass=_InternMeta):
     """Base class of all process terms.
 
     Subclasses declare ``__slots__`` for their fields and list them in
-    ``_fields``; equality and hashing are structural and cached.
+    ``_fields``; equality and hashing are structural and cached.  Thanks to
+    interning, structurally equal terms are pointer-identical, so the
+    identity fast path of ``__eq__`` is the common case.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash",) + _NODE_CACHE_SLOTS
     _fields: tuple[str, ...] = ()
 
     def _key(self) -> tuple[Any, ...]:

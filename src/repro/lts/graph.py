@@ -38,11 +38,17 @@ DEFAULT_MAX_STATES = 20_000
 
 @dataclass
 class LTS:
-    """An explicit labelled transition system over canonical process states."""
+    """An explicit labelled transition system over canonical process states.
+
+    ``index`` is keyed by the hash-consed canonical state: interned terms
+    carry a cached hash and compare by identity, so state lookup never
+    walks a term tree.
+    """
 
     states: list[Process] = field(default_factory=list)
     index: dict[Process, int] = field(default_factory=dict)
     edges: list[list[tuple[Action, int]]] = field(default_factory=list)
+    _edge_count: int = field(default=0, repr=False)
 
     def add_state(self, p: Process) -> int:
         """Intern canonical state *p*, returning its id."""
@@ -56,6 +62,7 @@ class LTS:
 
     def add_edge(self, src: int, action: Action, dst: int) -> None:
         self.edges[src].append((action, dst))
+        self._edge_count += 1
 
     @property
     def n_states(self) -> int:
@@ -63,7 +70,7 @@ class LTS:
 
     @property
     def n_edges(self) -> int:
-        return sum(len(e) for e in self.edges)
+        return self._edge_count
 
     def successors(self, sid: int, *, tau_only: bool = False) -> list[int]:
         """Target ids of outgoing edges (optionally tau edges only)."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..core.actions import TauAction
 from .graph import LTS
+from .partition import coarsest_partition_labelled
 
 
 @dataclass
@@ -38,7 +39,6 @@ def minimize(lts: LTS, initial: int) -> MinimalLTS:
     """
     n = lts.n_states
     labels = sorted({str(a) for edges in lts.edges for a, _ in edges})
-    label_ix = {lab: i for i, lab in enumerate(labels)}
     # per-label successor sets
     per_label: list[list[frozenset[int]]] = []
     for lab in labels:
@@ -47,21 +47,8 @@ def minimize(lts: LTS, initial: int) -> MinimalLTS:
             for s in range(n)])
 
     keys = [lts.barbs_of(s) for s in range(n)]
-    block = [0] * n
-    # iterate refinement across all labels to a joint fixpoint
-    key_ids: dict = {}
-    block = [key_ids.setdefault(k, len(key_ids)) for k in keys]
-    while True:
-        signatures: dict[tuple, int] = {}
-        new_block = [0] * n
-        for s in range(n):
-            sig = (block[s], tuple(
-                frozenset(block[t] for t in per_label[li][s])
-                for li in range(len(labels))))
-            new_block[s] = signatures.setdefault(sig, len(signatures))
-        if new_block == block:
-            break
-        block = new_block
+    # joint fixpoint across all labels via the shared worklist refinement
+    block = coarsest_partition_labelled(per_label, keys)
 
     result = MinimalLTS(n_blocks=max(block) + 1 if n else 0,
                         initial=block[initial] if n else 0,

@@ -1,4 +1,4 @@
-"""Relational coarsest partition (Kanellakis–Smolka style) refinement.
+"""Relational coarsest partition via worklist signature refinement.
 
 Used by the barbed- and step-bisimilarity checkers, whose clauses match
 *unlabelled* reductions plus an observability predicate: states start
@@ -8,11 +8,88 @@ state in a block reaches exactly the same set of blocks.
 For the weak variants the caller passes saturated successor sets (the
 reflexive-transitive closure of the reduction), which turns weak
 bisimilarity into strong bisimilarity on the saturated system.
+
+The refinement is Paige–Tarjan-flavoured rather than a naive global
+fixpoint: signatures are stored per state, a predecessor map tracks who can
+see a block change, and after a split only the *predecessors of moved
+states* get their signatures recomputed — so the cost per round is
+proportional to the actual splits, not to re-signaturing the whole system.
+:func:`coarsest_partition_labelled` runs the same engine with per-label
+signatures for the LTS minimizer.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
+
+
+def _initial_blocks(initial_keys: Sequence[Hashable]) -> tuple[list[int], int]:
+    key_ids: dict[Hashable, int] = {}
+    block = [key_ids.setdefault(k, len(key_ids)) for k in initial_keys]
+    return block, len(key_ids)
+
+
+def _predecessors(successors: Sequence[Sequence[int]], n: int) -> list[list[int]]:
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in successors[i]:
+            preds[j].append(i)
+    return preds
+
+
+def _refine(block: list[int],
+            n_blocks: int,
+            preds: Sequence[Sequence[int]],
+            signature: Callable[[int], Hashable],
+            watch: tuple[int, int] | None = None) -> list[int] | None:
+    """Refine *block* (modified in place) to stability under *signature*.
+
+    ``signature(s)`` must read the current ``block`` assignment.  Signatures
+    are cached per state and recomputed only for states with a successor
+    that changed block — the worklist.  With *watch* set, returns ``None``
+    as soon as the watched pair lands in different blocks (early exit for
+    :func:`partition_relates`); otherwise returns the stable assignment.
+    """
+    n = len(block)
+    sig: list[Hashable] = [signature(s) for s in range(n)]
+    members: list[set[int]] = [set() for _ in range(n_blocks)]
+    for i, b in enumerate(block):
+        members[b].add(i)
+    # Blocks whose members' signatures may disagree; initially all of them.
+    affected = {b for b in range(n_blocks) if len(members[b]) > 1}
+    dirty: set[int] = set()  # states whose cached signature may be stale
+    while affected or dirty:
+        for s in dirty:
+            new_sig = signature(s)
+            if new_sig != sig[s]:
+                sig[s] = new_sig
+                affected.add(block[s])
+        dirty = set()
+        moved: list[int] = []
+        for b in sorted(affected):
+            group = members[b]
+            if len(group) <= 1:
+                continue
+            cells: dict[Hashable, list[int]] = {}
+            for s in sorted(group):
+                cells.setdefault(sig[s], []).append(s)
+            if len(cells) == 1:
+                continue
+            # The largest cell keeps the old id: fewer moved states means
+            # fewer predecessors to re-signature.
+            for cell in sorted(cells.values(), key=len)[:-1]:
+                nb = len(members)
+                members.append(set(cell))
+                for s in cell:
+                    block[s] = nb
+                group.difference_update(cell)
+                moved.extend(cell)
+            if watch is not None and block[watch[0]] != block[watch[1]]:
+                return None
+        affected = set()
+        for s in moved:
+            dirty.update(preds[s])
+    return block
 
 
 def coarsest_partition(successors: Sequence[frozenset[int]],
@@ -27,23 +104,62 @@ def coarsest_partition(successors: Sequence[frozenset[int]],
     n = len(successors)
     if len(initial_keys) != n:
         raise ValueError("initial_keys and successors must align")
-    # Initial blocks from the observability keys.
-    key_ids: dict[Hashable, int] = {}
-    block = [key_ids.setdefault(k, len(key_ids)) for k in initial_keys]
-    while True:
-        signatures: dict[tuple, int] = {}
-        new_block = [0] * n
-        for i in range(n):
-            sig = (block[i], frozenset(block[j] for j in successors[i]))
-            new_block[i] = signatures.setdefault(sig, len(signatures))
-        if new_block == block:
-            return block
-        block = new_block
+    block, n_blocks = _initial_blocks(initial_keys)
+
+    def signature(s: int) -> Hashable:
+        return frozenset(block[t] for t in successors[s])
+
+    result = _refine(block, n_blocks, _predecessors(successors, n), signature)
+    assert result is not None
+    return result
+
+
+def coarsest_partition_labelled(
+        per_label: Sequence[Sequence[frozenset[int]]],
+        initial_keys: Sequence[Hashable]) -> list[int]:
+    """Coarsest partition stable under a *labelled* successor relation.
+
+    ``per_label[l][i]`` is the set of states reachable from state *i* by an
+    edge with label *l*; stability requires matching successor blocks label
+    by label (strong labelled bisimilarity on the explicit graph).
+    """
+    n = len(initial_keys)
+    for succ in per_label:
+        if len(succ) != n:
+            raise ValueError("initial_keys and successors must align")
+    block, n_blocks = _initial_blocks(initial_keys)
+    combined = [sorted({t for succ in per_label for t in succ[i]})
+                for i in range(n)]
+
+    def signature(s: int) -> Hashable:
+        return tuple(frozenset(block[t] for t in succ[s]) for succ in per_label)
+
+    result = _refine(block, n_blocks, _predecessors(combined, n), signature)
+    assert result is not None
+    return result
 
 
 def partition_relates(successors: Sequence[frozenset[int]],
                       initial_keys: Sequence[Hashable],
                       a: int, b: int) -> bool:
-    """Convenience: are states *a* and *b* in the same final block?"""
-    block = coarsest_partition(successors, initial_keys)
-    return block[a] == block[b]
+    """Are states *a* and *b* in the same final block?
+
+    Exits as soon as refinement separates *a* from *b* instead of running
+    the fixpoint to completion — refinement never merges blocks, so an
+    early separation is final.
+    """
+    n = len(successors)
+    if len(initial_keys) != n:
+        raise ValueError("initial_keys and successors must align")
+    block, n_blocks = _initial_blocks(initial_keys)
+    if block[a] != block[b]:
+        return False
+
+    def signature(s: int) -> Hashable:
+        return frozenset(block[t] for t in successors[s])
+
+    result = _refine(block, n_blocks, _predecessors(successors, n), signature,
+                     watch=(a, b))
+    if result is None:
+        return False
+    return result[a] == result[b]
