@@ -12,6 +12,12 @@ Run:  python benchmarks/report.py [--json [PATH]] [--rows A,B,...] [--quick]
 ``BENCH_report.json`` (or PATH), so the performance trajectory of the
 checkers is tracked PR over PR.  ``--quick`` restricts to a cheap smoke
 subset (used by CI); ``--rows`` selects experiments by name.
+
+The harness runs with ``repro.obs`` enabled: every row executes inside an
+``exp.<name>`` span, and the JSON payload embeds the span aggregates and
+engine counters under the ``"obs"`` key — so the ledger explains *where*
+each row's time went (states expanded, partition splits, game pairs; see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -219,13 +225,19 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             ap.error(f"unknown experiment rows: {sorted(unknown)}")
 
+    from repro import obs
+    obs.reset()
+    obs.enable()
+
     print(f"{'exp':6s} {'verdict':9s} {'time':>7s}  claim")
     print("-" * 100)
     rows = []
     wall0 = time.time()
     for name, claim, fn in todo:
         t0 = time.perf_counter()
-        verdict = fn()
+        with obs.span(f"exp.{name}") as sp:
+            verdict = fn()
+            sp.set(verdict=bool(verdict))
         elapsed = time.perf_counter() - t0
         status = "ok " if verdict else "MISMATCH"
         print(f"{name:6s} {status:9s} {elapsed:6.2f}s  {claim}")
@@ -239,11 +251,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         from repro.core import cache_stats
         payload = {
-            "schema": 1,
+            "schema": 2,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
             "cache": cache_stats(),
+            "obs": obs.snapshot(),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -15,6 +15,7 @@ Packages
 ``repro.calculi``  baseline calculi (CBS, pi) and encodings
 ``repro.apps``     the paper's examples as runnable applications
 ``repro.runtime``  a seeded simulator for closed broadcast systems
+``repro.obs``      tracing spans, metrics and progress hooks (off by default)
 """
 
 import sys as _sys
@@ -24,9 +25,9 @@ import sys as _sys
 # and canonicalization recurse over them, so give CPython head-room.
 _sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
 
-from . import apps, axioms, calculi, core, equiv, lts, runtime
+from . import apps, axioms, calculi, core, equiv, lts, obs, runtime
 
 __version__ = "1.0.0"
 
-__all__ = ["apps", "axioms", "calculi", "core", "equiv", "lts", "runtime",
-           "__version__"]
+__all__ = ["apps", "axioms", "calculi", "core", "equiv", "lts", "obs",
+           "runtime", "__version__"]

@@ -15,6 +15,11 @@ barb "<process>" <channel> [--max-states N]
 canon "<process>"
     Print the canonical state form.
 
+Observability (before or after the subcommand; see docs/observability.md):
+--trace PATH    record tracing spans, write chrome://tracing JSON to PATH
+--metrics       print engine counters and the span tree to stderr at exit
+--progress      rate-limited progress heartbeats on stderr during long runs
+
 Process syntax: see `repro.core.parser` (e.g. "a<v> | a(x).x!").
 """
 
@@ -107,28 +112,56 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(parser: argparse.ArgumentParser, *,
+                  suppress: bool = False) -> None:
+    """The observability flags, accepted before *and* after the subcommand.
+
+    On subparsers the defaults are ``SUPPRESS`` so an omitted flag does not
+    overwrite a value already parsed at the top level.
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="PATH",
+        default=argparse.SUPPRESS if suppress else None,
+        help="record tracing spans; write chrome://tracing JSON to PATH")
+    group.add_argument(
+        "--metrics", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="print engine counters and the span tree to stderr at exit")
+    group.add_argument(
+        "--progress", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="rate-limited progress heartbeats on stderr")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="bpi-calculus tools (Ene & Muntean 2001)")
+    _add_obs_args(parser)
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_args(obs_parent, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    s = sub.add_parser("steps", help="autonomous transitions")
+    s = sub.add_parser("steps", help="autonomous transitions",
+                       parents=[obs_parent])
     s.add_argument("process")
     s.set_defaults(func=_cmd_steps)
 
-    s = sub.add_parser("moves", help="all transitions incl. inputs")
+    s = sub.add_parser("moves", help="all transitions incl. inputs",
+                       parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--fresh", type=int, default=1)
     s.set_defaults(func=_cmd_moves)
 
-    s = sub.add_parser("run", help="seeded execution")
+    s = sub.add_parser("run", help="seeded execution", parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--max-steps", type=int, default=200)
     s.set_defaults(func=_cmd_run)
 
-    s = sub.add_parser("eq", help="decide an equivalence")
+    s = sub.add_parser("eq", help="decide an equivalence",
+                       parents=[obs_parent])
     s.add_argument("p")
     s.add_argument("q")
     s.add_argument("--relation", default="labelled",
@@ -137,24 +170,45 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--weak", action="store_true")
     s.set_defaults(func=_cmd_eq)
 
-    s = sub.add_parser("barb", help="barb reachability")
+    s = sub.add_parser("barb", help="barb reachability", parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("channel")
     s.add_argument("--max-states", type=int, default=50_000)
     s.set_defaults(func=_cmd_barb)
 
-    s = sub.add_parser("canon", help="canonical state form")
+    s = sub.add_parser("canon", help="canonical state form",
+                       parents=[obs_parent])
     s.add_argument("process")
     s.set_defaults(func=_cmd_canon)
 
-    s = sub.add_parser("graph", help="step-LTS as Graphviz DOT")
+    s = sub.add_parser("graph", help="step-LTS as Graphviz DOT",
+                       parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--minimize", action="store_true")
     s.add_argument("--max-states", type=int, default=2_000)
     s.set_defaults(func=_cmd_graph)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    want_progress = getattr(args, "progress", False)
+    if not (trace_path or want_metrics or want_progress):
+        return args.func(args)
+
+    from . import obs
+    obs.reset()  # one CLI invocation == one trace
+    obs.enable(progress=want_progress)
+    try:
+        return args.func(args)
+    finally:
+        obs.disable()
+        if trace_path:
+            obs.export_chrome(trace_path)
+            print(f"[obs] trace written to {trace_path}", file=sys.stderr)
+        if want_metrics:
+            print(obs.summary_tree(), file=sys.stderr)
+            print(obs.format_metrics(), file=sys.stderr)
 
 
 if __name__ == "__main__":

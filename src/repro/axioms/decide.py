@@ -36,6 +36,8 @@ from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
+from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
+from ..obs.state import STATE as _OBS
 from .conditions import Partition, all_partitions
 from .nf import NFInput, NFOutput, NFPrefix, NFTau, Summand, head_summands
 
@@ -43,21 +45,39 @@ from .nf import NFInput, NFOutput, NFPrefix, NFTau, Summand, head_summands
 def congruent_finite(p: Process, q: Process) -> bool:
     """Decide ``p ~c q`` for finite processes (Section 5 fragment)."""
     names = free_names(p) | free_names(q)
-    return all(_match(p, q, part, noisy=False)
-               for part in all_partitions(names))
+    with _tracing.span("axioms.congruent_finite") as sp:
+        verdict = True
+        n_conditions = 0
+        for part in all_partitions(names):
+            n_conditions += 1
+            if _OBS.enabled:
+                _metrics.inc("axioms.conditions_checked")
+                _progress.report("axioms.congruent_finite",
+                                 conditions=n_conditions)
+            if not _match(p, q, part, noisy=False):
+                verdict = False
+                break
+        sp.set(verdict=verdict, conditions=n_conditions)
+    return verdict
 
 
 def bisimilar_finite(p: Process, q: Process) -> bool:
     """Decide ``p ~ q`` syntactically (noisy matching from the first step),
     under the identity interpretation of the free names."""
     names = free_names(p) | free_names(q)
-    return _match(p, q, Partition.discrete(names), noisy=True)
+    with _tracing.span("axioms.bisimilar_finite") as sp:
+        verdict = _match(p, q, Partition.discrete(names), noisy=True)
+        sp.set(verdict=verdict)
+    return verdict
 
 
 def noisy_finite(p: Process, q: Process) -> bool:
     """Decide ``p ~+ q`` syntactically (strict first step, noisy below)."""
     names = free_names(p) | free_names(q)
-    return _match(p, q, Partition.discrete(names), noisy=False)
+    with _tracing.span("axioms.noisy_finite") as sp:
+        verdict = _match(p, q, Partition.discrete(names), noisy=False)
+        sp.set(verdict=verdict)
+    return verdict
 
 
 # ---------------------------------------------------------------------------
@@ -134,6 +154,9 @@ def _output_key(prefix: NFOutput, part: Partition) -> tuple:
 def _match(p: Process, q: Process, part: Partition, noisy: bool) -> bool:
     """Does ``p sigma  R  q sigma`` hold for sigma agreeing with *part*,
     where R is ``~`` (noisy=True) or ``~+`` (noisy=False)?"""
+    if _OBS.enabled:
+        _metrics.inc("axioms.match_calls")
+        _metrics.inc("axioms.hnf_expansions", 2)
     part = part.extend_discrete(free_names(p) | free_names(q))
     ls = head_summands(p, part)
     rs = head_summands(q, part)

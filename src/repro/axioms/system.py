@@ -33,6 +33,8 @@ from ..core.syntax import (
     Output,
     Par,
     Process,
+    Rec,
+    Restrict,
     Sum,
     Tau,
 )
@@ -113,23 +115,54 @@ def axiom_SP(p: Process, q: Process) -> Iterator[Equation]:
     yield Equation("SP", lhs, Sum(lhs, blended))
 
 
+def _potential_listening(p: Process) -> frozenset[Name]:
+    """Channels *p* may listen on under **some** substitution of its free
+    names: like ``In(p)`` but taking *both* branches of a match whose test
+    a substitution could flip.  ``In(p sigma) subseteq sigma(result)`` for
+    every sigma, which is the closure property the (H) guard needs —
+    ``listening_channels`` alone evaluates matches under the identity
+    interpretation and misses listeners a later identification awakens.
+    """
+    if isinstance(p, Input):
+        return frozenset((p.chan,))
+    if isinstance(p, Restrict):
+        # a bound channel can never be identified with a free one
+        return _potential_listening(p.body) - {p.name}
+    if isinstance(p, (Sum, Par)):
+        return _potential_listening(p.left) | _potential_listening(p.right)
+    if isinstance(p, Match):
+        if p.left == p.right:  # no sigma falsifies x = x
+            return _potential_listening(p.then)
+        return (_potential_listening(p.then)
+                | _potential_listening(p.orelse))
+    if isinstance(p, Rec):
+        from ..core.substitution import unfold_rec
+        return _potential_listening(unfold_rec(p))
+    return frozenset()  # Nil, Tau, Output guard their continuations
+
+
 def axiom_H(p: Process, chan: Name = "h") -> Iterator[Equation]:
     """(H): after any prefix, a *guarded* noisy input summand is invisible::
 
         alpha.p = alpha.(p + phi chan(x).p)
 
     with ``x`` fresh for p and ``phi`` entailing ``chan != b`` for every
-    ``b in In(p)`` — the guard is what keeps the law a congruence: a
-    substitution identifying ``chan`` with a listened-on channel disables
-    the summand instead of changing behaviour.  Encoded with nested
-    mismatches ``[chan != b]{...}``.
+    ``b`` that *p* may listen on — the guard is what keeps the law a
+    congruence: a substitution identifying ``chan`` with a listened-on
+    channel disables the summand instead of changing behaviour.  Encoded
+    with nested mismatches ``[chan != b]{...}``.  The guard set must cover
+    every *potential* listener (:func:`_potential_listening`), not just
+    ``In(p)``: for ``p = [a=b]{a(x).tau}{0}`` the identity interpretation
+    listens on nothing, but the substitution ``b := a`` wakes the listener
+    on ``a``, so an unguarded summand on ``chan`` with ``chan := a`` would
+    swallow a reception p reacts to.
     """
-    if chan in listening_channels(p):
+    if chan in _potential_listening(p):
         return
     x = "hx"
     assert x not in free_names(p)
     summand: Process = Input(chan, (x,), p)
-    for b in sorted(listening_channels(p)):
+    for b in sorted(_potential_listening(p)):
         summand = Match(chan, b, NIL, summand)  # [chan != b]{summand}
     for name, pref in _sample_prefixes():
         yield Equation(f"H-{name}", pref(p), pref(Sum(p, summand)))

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..obs import metrics as _metrics
+from ..obs.state import STATE as _OBS
 from .freenames import free_names
 from .names import Name, fresh_name
 from .syntax import (
@@ -84,6 +86,8 @@ def apply_subst(p: Process, mapping: Subst) -> Process:
     live = restrict_subst(mapping, free_names(p))
     if not live:
         return p
+    if _OBS.enabled:
+        _metrics.inc("core.substitutions_applied")
     return _apply(p, live)
 
 

@@ -40,6 +40,8 @@ from ..core.semantics import (
 )
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
+from ..obs import metrics as _metrics, tracing as _tracing
+from ..obs.state import STATE as _OBS
 from .game import DEFAULT_MAX_PAIRS, solve_game
 
 #: Cap on distinct fresh names offered per input position.
@@ -239,9 +241,15 @@ def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
         if got is None:
             got = game.challenges(key)
             cache[key] = got
+            if _OBS.enabled:
+                _metrics.inc("equiv.challenge_sets")
+                _metrics.inc("equiv.challenges", len(got))
         return got
 
-    return solve_game(_pair_key(p, q), challenges_of, max_pairs)
+    with _tracing.span("equiv.labelled", weak=weak) as sp:
+        verdict = solve_game(_pair_key(p, q), challenges_of, max_pairs)
+        sp.set(verdict=verdict)
+    return verdict
 
 
 def strong_bisimilar(p: Process, q: Process, **kw) -> bool:

@@ -32,6 +32,8 @@ from ..core.semantics import (
     step_transitions,
 )
 from ..core.syntax import Process, Restrict
+from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
+from ..obs.state import STATE as _OBS
 
 DEFAULT_MAX_STATES = 20_000
 
@@ -106,28 +108,36 @@ def build_step_lts(p: Process,
                    max_states: int = DEFAULT_MAX_STATES,
                    close_binders: bool = True) -> tuple[LTS, int]:
     """Explore the ``-phi->`` graph from *p*; returns (lts, initial id)."""
-    lts = LTS()
-    root = lts.add_state(canonical_state(p))
-    queue = deque([root])
-    expanded: set[int] = set()
-    while queue:
-        sid = queue.popleft()
-        if sid in expanded:
-            continue
-        expanded.add(sid)
-        state = lts.states[sid]
-        for action, target in step_transitions(state):
-            if close_binders:
-                target = _close_binders(action, target)
-            tgt = canonical_state(target)
-            known = tgt in lts.index
-            if not known and lts.n_states >= max_states:
-                raise StateSpaceExceeded(
-                    f"step LTS exceeds {max_states} states")
-            tid = lts.add_state(tgt)
-            lts.add_edge(sid, action, tid)
-            if not known:
-                queue.append(tid)
+    with _tracing.span("lts.build_step") as sp:
+        lts = LTS()
+        root = lts.add_state(canonical_state(p))
+        queue = deque([root])
+        expanded: set[int] = set()
+        while queue:
+            sid = queue.popleft()
+            if sid in expanded:
+                continue
+            expanded.add(sid)
+            if _OBS.enabled:
+                _metrics.inc("lts.states_expanded")
+                _progress.report("lts.build_step", states=lts.n_states,
+                                 edges=lts.n_edges, frontier=len(queue))
+            state = lts.states[sid]
+            for action, target in step_transitions(state):
+                if close_binders:
+                    target = _close_binders(action, target)
+                tgt = canonical_state(target)
+                known = tgt in lts.index
+                if not known and lts.n_states >= max_states:
+                    raise StateSpaceExceeded(
+                        f"step LTS exceeds {max_states} states")
+                tid = lts.add_state(tgt)
+                lts.add_edge(sid, action, tid)
+                if not known:
+                    queue.append(tid)
+        if _OBS.enabled:
+            _metrics.inc("lts.edges_added", lts.n_edges)
+        sp.set(n_states=lts.n_states, n_edges=lts.n_edges)
     return lts, root
 
 
@@ -158,35 +168,44 @@ def build_full_lts(p: Process, universe: NameUniverse | None = None,
     """
     if universe is None:
         universe = NameUniverse(free_names(p), n_fresh)
-    lts = LTS()
-    root = lts.add_state(canonical_state(p))
-    queue = deque([root])
-    expanded: set[int] = set()
+    with _tracing.span("lts.build_full") as sp:
+        lts = LTS()
+        root = lts.add_state(canonical_state(p))
+        queue = deque([root])
+        expanded: set[int] = set()
 
-    def intern(target: Process, sid_from: int, action: Action) -> None:
-        tgt = canonical_state(target)
-        known = tgt in lts.index
-        if not known and lts.n_states >= max_states:
-            raise StateSpaceExceeded(f"full LTS exceeds {max_states} states")
-        tid = lts.add_state(tgt)
-        lts.add_edge(sid_from, action, tid)
-        if not known:
-            queue.append(tid)
+        def intern(target: Process, sid_from: int, action: Action) -> None:
+            tgt = canonical_state(target)
+            known = tgt in lts.index
+            if not known and lts.n_states >= max_states:
+                raise StateSpaceExceeded(
+                    f"full LTS exceeds {max_states} states")
+            tid = lts.add_state(tgt)
+            lts.add_edge(sid_from, action, tid)
+            if not known:
+                queue.append(tid)
 
-    while queue:
-        sid = queue.popleft()
-        if sid in expanded:
-            continue
-        expanded.add(sid)
-        state = lts.states[sid]
-        for action, target in step_transitions(state):
-            if isinstance(action, OutputAction) and action.binders:
-                intern(_close_binders(action, target), sid,
-                       canonical_output_label(action))
-            else:
-                intern(target, sid, action)
-        for chan, arity in sorted(input_capabilities(state)):
-            for values in universe.vectors(arity):
-                for target in input_continuations(state, chan, values):
-                    intern(target, sid, InputAction(chan, values))
+        while queue:
+            sid = queue.popleft()
+            if sid in expanded:
+                continue
+            expanded.add(sid)
+            if _OBS.enabled:
+                _metrics.inc("lts.states_expanded")
+                _progress.report("lts.build_full", states=lts.n_states,
+                                 edges=lts.n_edges, frontier=len(queue))
+            state = lts.states[sid]
+            for action, target in step_transitions(state):
+                if isinstance(action, OutputAction) and action.binders:
+                    intern(_close_binders(action, target), sid,
+                           canonical_output_label(action))
+                else:
+                    intern(target, sid, action)
+            for chan, arity in sorted(input_capabilities(state)):
+                for values in universe.vectors(arity):
+                    for target in input_continuations(state, chan, values):
+                        intern(target, sid, InputAction(chan, values))
+        if _OBS.enabled:
+            _metrics.inc("lts.edges_added", lts.n_edges)
+        sp.set(n_states=lts.n_states, n_edges=lts.n_edges)
     return lts, root

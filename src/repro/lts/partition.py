@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Sequence
 
+from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
+from ..obs.state import STATE as _OBS
+
 
 def _initial_blocks(initial_keys: Sequence[Hashable]) -> tuple[list[int], int]:
     key_ids: dict[Hashable, int] = {}
@@ -59,6 +62,11 @@ def _refine(block: list[int],
     affected = {b for b in range(n_blocks) if len(members[b]) > 1}
     dirty: set[int] = set()  # states whose cached signature may be stale
     while affected or dirty:
+        if _OBS.enabled:
+            _metrics.inc("partition.rounds")
+            _metrics.inc("partition.resignatured", len(dirty))
+            _progress.report("partition.refine", blocks=len(members),
+                             affected=len(affected), dirty=len(dirty))
         for s in dirty:
             new_sig = signature(s)
             if new_sig != sig[s]:
@@ -84,6 +92,8 @@ def _refine(block: list[int],
                     block[s] = nb
                 group.difference_update(cell)
                 moved.extend(cell)
+                if _OBS.enabled:
+                    _metrics.inc("partition.splits")
             if watch is not None and block[watch[0]] != block[watch[1]]:
                 return None
         affected = set()
@@ -104,13 +114,16 @@ def coarsest_partition(successors: Sequence[frozenset[int]],
     n = len(successors)
     if len(initial_keys) != n:
         raise ValueError("initial_keys and successors must align")
-    block, n_blocks = _initial_blocks(initial_keys)
+    with _tracing.span("partition.coarsest", n_states=n) as sp:
+        block, n_blocks = _initial_blocks(initial_keys)
 
-    def signature(s: int) -> Hashable:
-        return frozenset(block[t] for t in successors[s])
+        def signature(s: int) -> Hashable:
+            return frozenset(block[t] for t in successors[s])
 
-    result = _refine(block, n_blocks, _predecessors(successors, n), signature)
-    assert result is not None
+        result = _refine(block, n_blocks, _predecessors(successors, n),
+                         signature)
+        assert result is not None
+        sp.set(n_blocks=len(set(result)))
     return result
 
 
@@ -127,15 +140,20 @@ def coarsest_partition_labelled(
     for succ in per_label:
         if len(succ) != n:
             raise ValueError("initial_keys and successors must align")
-    block, n_blocks = _initial_blocks(initial_keys)
-    combined = [sorted({t for succ in per_label for t in succ[i]})
-                for i in range(n)]
+    with _tracing.span("partition.coarsest_labelled", n_states=n,
+                       n_labels=len(per_label)) as sp:
+        block, n_blocks = _initial_blocks(initial_keys)
+        combined = [sorted({t for succ in per_label for t in succ[i]})
+                    for i in range(n)]
 
-    def signature(s: int) -> Hashable:
-        return tuple(frozenset(block[t] for t in succ[s]) for succ in per_label)
+        def signature(s: int) -> Hashable:
+            return tuple(frozenset(block[t] for t in succ[s])
+                         for succ in per_label)
 
-    result = _refine(block, n_blocks, _predecessors(combined, n), signature)
-    assert result is not None
+        result = _refine(block, n_blocks, _predecessors(combined, n),
+                         signature)
+        assert result is not None
+        sp.set(n_blocks=len(set(result)))
     return result
 
 
@@ -151,15 +169,20 @@ def partition_relates(successors: Sequence[frozenset[int]],
     n = len(successors)
     if len(initial_keys) != n:
         raise ValueError("initial_keys and successors must align")
-    block, n_blocks = _initial_blocks(initial_keys)
-    if block[a] != block[b]:
-        return False
+    with _tracing.span("partition.relates", n_states=n) as sp:
+        block, n_blocks = _initial_blocks(initial_keys)
+        if block[a] != block[b]:
+            sp.set(verdict=False, early_exit=True)
+            return False
 
-    def signature(s: int) -> Hashable:
-        return frozenset(block[t] for t in successors[s])
+        def signature(s: int) -> Hashable:
+            return frozenset(block[t] for t in successors[s])
 
-    result = _refine(block, n_blocks, _predecessors(successors, n), signature,
-                     watch=(a, b))
-    if result is None:
-        return False
-    return result[a] == result[b]
+        result = _refine(block, n_blocks, _predecessors(successors, n),
+                         signature, watch=(a, b))
+        if result is None:
+            sp.set(verdict=False, early_exit=True)
+            return False
+        verdict = result[a] == result[b]
+        sp.set(verdict=verdict, early_exit=False)
+    return verdict

@@ -1,0 +1,96 @@
+"""Pluggable progress hooks for long-running analyses.
+
+The engine's exploration loops periodically call::
+
+    progress.report("lts.build_step", states=..., edges=...)
+
+(behind the ``STATE.enabled`` guard) and every registered callback
+receives the phase name plus the keyword payload.  Callbacks decide their
+own pacing: the default stderr reporter is wrapped in :class:`RateLimited`
+so a million-state exploration prints a heartbeat a couple of times per
+second instead of a million lines.
+
+Register a custom callback to drive progress bars, watchdogs or log
+shippers::
+
+    from repro import obs
+    obs.enable(progress=lambda phase, info: my_bar.update(info))
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+__all__ = [
+    "ProgressCallback", "report", "add_callback", "remove_callback",
+    "clear_callbacks", "RateLimited", "stderr_reporter",
+]
+
+#: A progress hook: ``callback(phase_name, info_dict)``.
+ProgressCallback = Callable[[str, dict[str, Any]], None]
+
+_callbacks: list[ProgressCallback] = []
+
+
+def report(phase: str, **info: Any) -> None:
+    """Dispatch a progress event to every registered callback."""
+    for cb in _callbacks:
+        cb(phase, info)
+
+
+def add_callback(cb: ProgressCallback) -> None:
+    """Register *cb*; no-op if already registered."""
+    if cb not in _callbacks:
+        _callbacks.append(cb)
+
+
+def remove_callback(cb: ProgressCallback) -> None:
+    """Unregister *cb* if present."""
+    try:
+        _callbacks.remove(cb)
+    except ValueError:
+        pass
+
+
+def clear_callbacks() -> None:
+    """Unregister every callback."""
+    _callbacks.clear()
+
+
+class RateLimited:
+    """Wrap a callback so it fires at most once per *min_interval* seconds.
+
+    The first event always passes through; later events are dropped until
+    the interval has elapsed (per wrapper, not per phase).  *clock* is
+    injectable for tests.
+    """
+
+    def __init__(self, fn: ProgressCallback, min_interval: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic):
+        self.fn = fn
+        self.min_interval = min_interval
+        self._clock = clock
+        self._last: float | None = None
+        self.dropped = 0
+
+    def __call__(self, phase: str, info: dict[str, Any]) -> None:
+        now = self._clock()
+        if self._last is not None and now - self._last < self.min_interval:
+            self.dropped += 1
+            return
+        self._last = now
+        self.fn(phase, info)
+
+
+def stderr_reporter(min_interval: float = 0.5,
+                    stream: TextIO | None = None) -> RateLimited:
+    """The default reporter: rate-limited one-line heartbeats on stderr."""
+
+    def emit(phase: str, info: dict[str, Any]) -> None:
+        payload = " ".join(f"{k}={v}" for k, v in info.items())
+        print(f"[obs] {phase} {payload}".rstrip(),
+              file=stream if stream is not None else sys.stderr, flush=True)
+
+    return RateLimited(emit, min_interval)

@@ -1,0 +1,32 @@
+"""The observability master switch, isolated so hot paths stay cheap.
+
+Every instrumented loop in the engine guards its bookkeeping with::
+
+    from ..obs.state import STATE as _OBS
+    ...
+    if _OBS.enabled:
+        _metrics.inc("lts.states_expanded")
+
+``STATE`` is a slotted singleton, so the disabled fast path costs exactly
+one attribute load and one branch per guard — measured at well under 1% on
+``build_step_lts(broadcast_star(12))``.  The switch lives in its own leaf
+module (rather than ``repro.obs.__init__``) so that instrumented core
+modules never import the full observability package at import time, which
+keeps the import graph acyclic: ``repro.obs`` depends on nothing inside
+``repro`` except (lazily) :func:`repro.core.cache.cache_stats`.
+"""
+
+from __future__ import annotations
+
+
+class ObsState:
+    """Process-wide on/off flag for spans, counters and progress hooks."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: The singleton read by every instrumentation guard.
+STATE = ObsState()

@@ -1,0 +1,201 @@
+"""Nestable tracing spans with Chrome-tracing export.
+
+A *span* is a named, timed region of work with free-form attributes::
+
+    with span("lts.build_step") as sp:
+        ...explore...
+        sp.set(n_states=lts.n_states, n_edges=lts.n_edges)
+
+Spans nest: each thread keeps a stack of open spans, a span closed while
+another is open becomes a child of the enclosing one, and completed
+top-level spans accumulate in a process-wide buffer.  When observability
+is off (:data:`repro.obs.state.STATE`), ``span`` yields a shared no-op
+record and touches no state, so uninstrumented runs pay only the flag
+check.
+
+Exports:
+
+* :func:`export_chrome` — the ``chrome://tracing`` / Perfetto JSON format
+  (complete-event ``"ph": "X"`` records with microsecond timestamps);
+* :func:`summary_tree` — a plain-text indented tree with millisecond
+  durations and attributes, for terminals and logs;
+* :func:`span_summary` — per-name aggregates (count / total / max
+  seconds), the form embedded in ``BENCH_report.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, TextIO
+
+from .state import STATE
+
+__all__ = [
+    "SpanRecord", "NULL_SPAN", "span", "trace_spans", "clear_trace",
+    "chrome_events", "export_chrome", "summary_tree", "span_summary",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) timed region."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+    thread_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now, if the span is still open)."""
+        return (self.end if self.end is not None
+                else time.perf_counter()) - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes on the span."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in yielded while observability is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+_lock = threading.Lock()
+_roots: list[SpanRecord] = []
+_local = threading.local()
+#: perf_counter origin for Chrome timestamps; reset by :func:`clear_trace`.
+_epoch = time.perf_counter()
+
+
+def _stack() -> list[SpanRecord]:
+    try:
+        return _local.stack
+    except AttributeError:
+        _local.stack = []
+        return _local.stack
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[SpanRecord | _NullSpan]:
+    """Open a named span around a block; a no-op when obs is disabled."""
+    if not STATE.enabled:
+        yield NULL_SPAN
+        return
+    stack = _stack()
+    rec = SpanRecord(name=name, start=time.perf_counter(), attrs=dict(attrs),
+                     thread_id=threading.get_ident())
+    stack.append(rec)
+    try:
+        yield rec
+    finally:
+        rec.end = time.perf_counter()
+        stack.pop()
+        if stack:
+            stack[-1].children.append(rec)
+        else:
+            with _lock:
+                _roots.append(rec)
+
+
+def trace_spans() -> list[SpanRecord]:
+    """The completed top-level spans, in completion order (all threads)."""
+    with _lock:
+        return list(_roots)
+
+
+def clear_trace() -> None:
+    """Drop all recorded spans and restart the trace clock."""
+    global _epoch
+    with _lock:
+        _roots.clear()
+        _epoch = time.perf_counter()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _walk(records: list[SpanRecord]) -> Iterator[SpanRecord]:
+    for rec in records:
+        yield rec
+        yield from _walk(rec.children)
+
+
+def chrome_events() -> list[dict[str, Any]]:
+    """The trace as Chrome complete events (``ph: "X"``, microseconds)."""
+    events = []
+    for rec in _walk(trace_spans()):
+        end = rec.end if rec.end is not None else time.perf_counter()
+        events.append({
+            "name": rec.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (rec.start - _epoch) * 1e6,
+            "dur": (end - rec.start) * 1e6,
+            "pid": 1,
+            "tid": rec.thread_id,
+            "args": {k: _jsonable(v) for k, v in rec.attrs.items()},
+        })
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def export_chrome(target: str | TextIO) -> dict[str, Any]:
+    """Write the trace as ``chrome://tracing`` JSON; returns the document.
+
+    *target* is a path or an open text file.  Load the result via the
+    "Load" button of ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    doc = {"displayTimeUnit": "ms", "traceEvents": chrome_events()}
+    if isinstance(target, str):
+        with open(target, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    else:
+        json.dump(doc, target, indent=1)
+    return doc
+
+
+def summary_tree() -> str:
+    """Plain-text indented tree of the recorded spans."""
+    lines: list[str] = []
+
+    def walk(rec: SpanRecord, depth: int) -> None:
+        label = "  " * depth + rec.name
+        attrs = " ".join(f"{k}={rec.attrs[k]}" for k in sorted(rec.attrs))
+        lines.append(f"{label:<40s} {rec.duration * 1e3:10.3f} ms"
+                     + (f"  {attrs}" if attrs else ""))
+        for child in rec.children:
+            walk(child, depth + 1)
+
+    for root in trace_spans():
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def span_summary() -> dict[str, dict[str, float]]:
+    """Per-span-name aggregates: ``{name: {count, total_s, max_s}}``."""
+    agg: dict[str, dict[str, float]] = {}
+    for rec in _walk(trace_spans()):
+        entry = agg.setdefault(rec.name,
+                               {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        dur = rec.duration
+        entry["count"] += 1
+        entry["total_s"] += dur
+        entry["max_s"] = max(entry["max_s"], dur)
+    return {name: agg[name] for name in sorted(agg)}

@@ -1,16 +1,34 @@
 """Reachability-style analyses for closed broadcast systems.
 
-Generic verification queries over the collapsed state graph, shared by the
-applications and usable on any closed term:
+Where the simulator *samples* runs, this module *quantifies over* them:
+each query explores the whole (bounded) graph of autonomous ``-phi->``
+steps — the reduction relation Section 3.2 takes as primitive — and
+answers a temporal question about every execution at once.  This is the
+machinery behind the paper's example claims ("the detector broadcasts o
+**iff** the graph has a cycle", "every transaction log reaching an
+inconsistent state is flagged"): such iff-statements need exhaustive
+search, not seeded runs.
 
-* :func:`reachable_states` — the bounded state set;
-* :func:`find_quiescent` — reachable deadlocks (no autonomous step);
-* :func:`can_diverge` — is there a reachable tau-only cycle?
-* :func:`invariant_holds` — check a state predicate over all reachable
-  states, with a counterexample witness;
-* :func:`eventually_always` — after quiescence, does the predicate hold?
+Generic verification queries over the collapsed state graph, shared by
+the applications (:mod:`repro.apps`) and usable on any closed term:
 
-All queries treat the system as closed (extrusions re-bound) and use the
+* :func:`reachable_states` — the bounded state set (BFS over canonical
+  states, the Definition 2 LTS restricted to autonomous moves);
+* :func:`find_quiescent` — reachable deadlocks/terminations (states with
+  no ``-phi->`` successor, the targets of Example 1-style stabilisation
+  arguments);
+* :func:`can_diverge` — is there a reachable tau-only cycle?  (infinite
+  internal chatter with no observable broadcast — the divergence the
+  weak equivalences of Definition 14 deliberately ignore);
+* :func:`invariant_holds` — a safety check: does a state predicate hold
+  in every reachable state, with a counterexample witness if not;
+* :func:`eventually_always` — does the predicate hold in every reachable
+  *quiescent* state?  (the "after stabilisation" reading of Example 1's
+  correctness claim; vacuous if the bound cuts every run short).
+
+All queries treat the system as closed — names extruded by a bound
+output are re-restricted around the residual, matching rule 5/6's
+re-capture discipline for systems without an environment — and use the
 duplicate-collapse quotient by default (sound for reachability; see
 ``repro.core.canonical``).
 """

@@ -1,11 +1,23 @@
 """A seeded executor for closed broadcast systems.
 
-The paper's examples (cycle detection, transaction managers, PVM groups)
-describe *closed* systems driven entirely by their own ``-phi->`` steps
-(broadcasts and taus).  The simulator repeatedly picks an enabled step
-under a scheduling policy and records the trace.  It is the deterministic,
+The paper's examples (cycle detection in Example 1, the transaction
+managers of Example 2, PVM groups in Example 3) describe *closed* systems
+driven entirely by their own autonomous ``-phi->`` steps — the broadcasts
+and taus derivable by the rules of Table 3 without environment input.
+Section 3.2 argues this step relation is the real "reduction" of a
+broadcast calculus: a sender never waits for its audience, so every
+enabled output fires atomically, serving all current listeners at once
+(rules 10-14) while non-listeners are passed by via the discard relation
+of Table 2.
+
+The simulator makes that abstract relation executable: it repeatedly
+enumerates the enabled steps (:func:`repro.core.semantics.step_transitions`,
+i.e. one candidate per derivable ``p -phi-> p'``), lets a *scheduling
+policy* pick one, and records the chosen action in a
+:class:`~repro.runtime.trace.Trace`.  It is the deterministic,
 reproducible substitute for the distributed runtime the paper informally
-assumes (see DESIGN.md, substitutions).
+assumes (see DESIGN.md, substitutions): where the paper quantifies over
+all maximal step sequences, a seeded run samples one of them.
 
 Policies:
 
@@ -14,9 +26,16 @@ Policies:
 * ``round_robin`` — cycles deterministically through enabled step indices;
 * a callable ``(step_index, transitions) -> index`` for custom control.
 
+Closure is maintained as in Definition 2's treatment of restriction: names
+extruded by a top-level bound output (rule 5's ``nu b~ a<c~>`` labels) are
+re-restricted around the residual (``rebind_extrusions``), which is sound
+because a closed system has no environment to remember them.
+
 For *verification*-style questions ("can the detector ever signal o?") use
 :func:`repro.core.reduction.can_reach_barb` — exhaustive bounded search —
-rather than sampling runs.
+rather than sampling runs.  With ``repro.obs`` enabled, each run is
+wrapped in a ``sim.run`` span, counts ``sim.steps`` and reports progress
+per step (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -29,6 +48,8 @@ from ..core.canonical import canonical_state
 from ..core.names import Name
 from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
+from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
+from ..obs.state import STATE as _OBS
 from .trace import Trace, TraceEvent
 
 Policy = Callable[[int, Sequence], int]
@@ -71,25 +92,33 @@ def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
     else:
         raise ValueError(f"unknown policy {policy!r}")
 
-    trace = Trace()
-    state = p
-    for i in range(max_steps):
-        moves = step_transitions(state)
-        if not moves:
-            trace.quiescent = True
-            break
-        action, target = moves[policy_fn(i, moves)]
-        if rebind_extrusions and isinstance(action, OutputAction) \
-                and action.binders:
-            for b in reversed(action.binders):
-                target = Restrict(b, target)
-        state = canonical_state(target)
-        trace.events.append(TraceEvent(i, action, state.size()))
-        if stop_on_barb is not None and \
-                isinstance(action, OutputAction) and \
-                action.chan == stop_on_barb:
-            break
-    trace.final = state
+    with _tracing.span("sim.run",
+                       policy=policy if isinstance(policy, str)
+                       else "custom") as sp:
+        trace = Trace()
+        state = p
+        for i in range(max_steps):
+            moves = step_transitions(state)
+            if not moves:
+                trace.quiescent = True
+                break
+            action, target = moves[policy_fn(i, moves)]
+            if rebind_extrusions and isinstance(action, OutputAction) \
+                    and action.binders:
+                for b in reversed(action.binders):
+                    target = Restrict(b, target)
+            state = canonical_state(target)
+            trace.events.append(TraceEvent(i, action, state.size()))
+            if _OBS.enabled:
+                _metrics.inc("sim.steps")
+                _progress.report("sim.run", step=i, enabled=len(moves),
+                                 state_size=trace.events[-1].state_size)
+            if stop_on_barb is not None and \
+                    isinstance(action, OutputAction) and \
+                    action.chan == stop_on_barb:
+                break
+        trace.final = state
+        sp.set(steps=trace.steps, quiescent=trace.quiescent)
     return trace
 
 

@@ -1,4 +1,29 @@
-"""Execution traces of closed broadcast systems."""
+"""Execution traces of closed broadcast systems.
+
+A :class:`Trace` is one sampled maximal-ish sequence of autonomous
+``-phi->`` steps (Table 3 via :func:`repro.core.semantics.step_transitions`),
+as produced by :mod:`repro.runtime.simulator`.  What a trace *records* is
+dictated by the paper's observability story:
+
+* only **broadcasts are observable** — Definition 3 takes the barbs
+  ``p |down a`` (an output on *a* available now) as the sole observable,
+  and a trace's :meth:`~Trace.broadcasts`/:meth:`~Trace.observed`/
+  :meth:`~Trace.payloads` are exactly the committed barbs of a run in
+  temporal order, with tau steps logged but carrying no observable
+  content (receptions are invisible by design — the "noisy" law ``a?.0 ~
+  0`` of Section 3);
+* **quiescence** is meaningful: a state with no autonomous step is
+  terminated/deadlocked (:attr:`Trace.quiescent` distinguishes a real
+  fixpoint from an exhausted step budget — only the former supports
+  conclusions like Example 1's "the detector stays silent iff the graph
+  is acyclic");
+* ``state_size`` per event tracks the canonical-term size along the run,
+  the cheap divergence/leak indicator for long simulations.
+
+Sequences of observed payloads are also what the testing-preorder modules
+(:mod:`repro.equiv.maytesting`) compare, so ``Trace`` doubles as the
+sample type for may-testing experiments.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,72 @@
+"""Documentation integrity: every relative link in docs/*.md (and the
+top-level README, if present) must resolve, including #anchors into
+markdown headings.  This is what the CI docs job runs."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [
+    p for p in [REPO / "README.md"] if p.exists()]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(md: Path) -> set[str]:
+    slugs = set()
+    in_fence = False
+    for line in md.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and re.match(r"#{1,6}\s", line):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def all_links():
+    for doc in DOC_FILES:
+        in_fence = False
+        for line in doc.read_text().splitlines():
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                yield doc, target
+
+
+LINKS = sorted({(doc, target) for doc, target in all_links()},
+               key=lambda dt: (str(dt[0]), dt[1]))
+
+
+def test_docs_exist():
+    assert any(d.name == "observability.md" for d in DOC_FILES)
+    assert LINKS, "expected at least one internal link in docs/"
+
+
+@pytest.mark.parametrize(
+    "doc,target", LINKS,
+    ids=[f"{d.name}:{t}" for d, t in LINKS])
+def test_link_resolves(doc, target):
+    if target.startswith(EXTERNAL):
+        return  # external URLs are not checked offline
+    path_part, _, anchor = target.partition("#")
+    dest = doc if not path_part else (doc.parent / path_part).resolve()
+    assert dest.exists(), f"{doc.name}: broken link target {path_part!r}"
+    if anchor:
+        assert dest.suffix == ".md", \
+            f"{doc.name}: anchor on non-markdown target {target!r}"
+        assert anchor in heading_slugs(dest), \
+            f"{doc.name}: no heading for anchor #{anchor} in {dest.name}"

@@ -1,0 +1,319 @@
+"""Tests for the observability layer (repro.obs): spans, metrics,
+progress hooks, Chrome export, CLI flags — and the oracle property that
+instrumentation never changes analysis results."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.core.builder import inp, out, par
+from repro.core.parser import parse
+from repro.lts.graph import build_step_lts
+from repro.lts.partition import coarsest_partition
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with obs disabled and empty."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def star(n: int):
+    """One sender, n listeners each replying on its own channel."""
+    return par(out("a", "v"),
+               *[inp("a", (f"x{i}",), out(f"r{i}", f"x{i}"))
+                 for i in range(n)])
+
+
+class TestEnableDisable:
+    def test_off_by_default(self):
+        assert not obs.is_enabled()
+        assert obs.enabled is False
+
+    def test_enable_disable_roundtrip(self):
+        obs.enable()
+        assert obs.is_enabled() and obs.enabled
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_disabled_span_is_null(self):
+        with obs.span("nothing", x=1) as sp:
+            assert sp is obs.NULL_SPAN
+            sp.set(ignored=True)  # must be a silent no-op
+        assert obs.trace_spans() == []
+
+    def test_disabled_metrics_still_noop_free(self):
+        # inc() itself always works; the *engine* guards it. But a
+        # disabled session records no spans and reset() clears counters.
+        assert obs.counter_value("never.touched") == 0
+
+
+class TestSpans:
+    def test_nesting_structure_and_attrs(self):
+        obs.enable()
+        with obs.span("outer", workload="test") as sp:
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b") as b:
+                b.set(k=2)
+            sp.set(done=True)
+        roots = obs.trace_spans()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert outer.attrs == {"workload": "test", "done": True}
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[1].attrs == {"k": 2}
+        assert not outer.children[0].children
+
+    def test_timing_monotone_and_contained(self):
+        obs.enable()
+        with obs.span("parent"):
+            with obs.span("child"):
+                pass
+        parent = obs.trace_spans()[0]
+        child = parent.children[0]
+        assert parent.end is not None and child.end is not None
+        assert parent.end >= parent.start
+        assert child.end >= child.start
+        # child interval lies inside the parent interval
+        assert parent.start <= child.start
+        assert child.end <= parent.end
+        assert parent.duration >= child.duration >= 0.0
+
+    def test_span_survives_exception(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("x")
+        [rec] = obs.trace_spans()
+        assert rec.name == "boom" and rec.end is not None
+        # the stack unwound: a new span is again a root
+        with obs.span("after"):
+            pass
+        assert [r.name for r in obs.trace_spans()] == ["boom", "after"]
+
+    def test_summary_tree_and_aggregates(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("phase"):
+                pass
+        tree = obs.summary_tree()
+        assert tree.count("phase") == 3 and "ms" in tree
+        agg = obs.span_summary()
+        assert agg["phase"]["count"] == 3
+        assert agg["phase"]["total_s"] >= agg["phase"]["max_s"] >= 0.0
+
+    def test_clear_trace(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        obs.clear_trace()
+        assert obs.trace_spans() == []
+        assert obs.summary_tree() == "(no spans recorded)"
+
+
+class TestMetrics:
+    def test_counter_arithmetic(self):
+        obs.inc("c")
+        obs.inc("c")
+        obs.inc("c", 5)
+        assert obs.counter_value("c") == 7
+        assert obs.counter_value("other") == 0
+        obs.clear_metrics()
+        assert obs.counter_value("c") == 0
+
+    def test_gauge_last_write_wins(self):
+        obs.gauge("g", 3)
+        obs.gauge("g", 11)
+        assert obs.metrics_snapshot()["gauges"] == {"g": 11}
+
+    def test_histogram_stats(self):
+        for v in (4, 1, 7):
+            obs.observe("h", v)
+        h = obs.metrics_snapshot()["histograms"]["h"]
+        assert h == {"count": 3, "total": 12, "min": 1, "max": 7}
+
+    def test_snapshot_sorted_and_formats(self):
+        obs.inc("b.second")
+        obs.inc("a.first")
+        snap = obs.metrics_snapshot()
+        assert list(snap["counters"]) == ["a.first", "b.second"]
+        text = obs.format_metrics(snap)
+        assert "a.first" in text and "b.second" in text
+
+    def test_kernel_cache_metrics_shape(self):
+        stats = obs.kernel_cache_metrics()
+        assert isinstance(stats, dict) and stats
+
+    def test_obs_snapshot_includes_spans(self):
+        obs.enable()
+        with obs.span("s"):
+            obs.inc("k")
+        snap = obs.snapshot()
+        assert snap["counters"] == {"k": 1}
+        assert snap["spans"]["s"]["count"] == 1
+
+
+class TestChromeExport:
+    def test_schema_and_roundtrip(self, tmp_path):
+        obs.enable()
+        with obs.span("outer", label="lbl"):
+            with obs.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        doc = obs.export_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["displayTimeUnit"] == "ms"
+        events = loaded["traceEvents"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["cat"] == "repro"
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["pid"] == 1
+            assert e["tid"] == threading.get_ident()
+            assert isinstance(e["args"], dict)
+        # events sorted by start time: outer opened before inner
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        assert events[0]["args"] == {"label": "lbl"}
+
+    def test_non_json_attrs_stringified(self, tmp_path):
+        obs.enable()
+        with obs.span("s") as sp:
+            sp.set(term=parse("a!"))
+        [event] = obs.chrome_events()
+        assert isinstance(event["args"]["term"], str)
+        # the whole document must serialize
+        json.dumps({"traceEvents": [event]})
+
+
+class TestProgress:
+    def test_report_dispatch_and_remove(self):
+        got = []
+        cb = lambda phase, info: got.append((phase, info))
+        obs.add_callback(cb)
+        obs.add_callback(cb)  # duplicate registration is a no-op
+        obs.report("phase.x", states=3)
+        assert got == [("phase.x", {"states": 3})]
+        obs.remove_callback(cb)
+        obs.report("phase.x", states=4)
+        assert len(got) == 1
+
+    def test_rate_limiting_with_fake_clock(self):
+        now = [100.0]
+        hits = []
+        rl = obs.RateLimited(lambda ph, info: hits.append(ph),
+                             min_interval=0.5, clock=lambda: now[0])
+        rl("a", {})          # first event always passes
+        rl("b", {})          # 0.0s later: dropped
+        now[0] += 0.4
+        rl("c", {})          # 0.4s later: still dropped
+        now[0] += 0.2
+        rl("d", {})          # 0.6s since last emit: passes
+        assert hits == ["a", "d"]
+        assert rl.dropped == 2
+
+    def test_stderr_reporter_format(self):
+        import io
+        buf = io.StringIO()
+        rep = obs.stderr_reporter(min_interval=0.0, stream=buf)
+        rep("lts.build_step", {"states": 7, "frontier": 2})
+        assert buf.getvalue() == "[obs] lts.build_step states=7 frontier=2\n"
+
+    def test_enable_installs_callable(self):
+        got = []
+        obs.enable(progress=lambda ph, info: got.append(ph))
+        obs.report("p", k=1)
+        assert got == ["p"]
+
+
+class TestOracle:
+    """Instrumentation must never change analysis results."""
+
+    def test_build_step_lts_identical(self):
+        p = star(5)
+        base_lts, base_root = build_step_lts(p)
+
+        obs.enable()
+        inst_lts, inst_root = build_step_lts(p)
+        obs.disable()
+
+        assert inst_root == base_root
+        assert inst_lts.states == base_lts.states
+        assert inst_lts.edges == base_lts.edges
+        # ...and the instrumentation actually observed the run
+        assert obs.counter_value("lts.states_expanded") == base_lts.n_states
+        assert obs.counter_value("lts.edges_added") == base_lts.n_edges
+        assert obs.span_summary()["lts.build_step"]["count"] == 1
+
+    def test_coarsest_partition_identical(self):
+        lts, _root = build_step_lts(star(4))
+        succ = [frozenset(dst for _act, dst in lts.edges[s])
+                for s in range(lts.n_states)]
+        keys = [frozenset(lts.barbs_of(s)) for s in range(lts.n_states)]
+        base = coarsest_partition(succ, keys)
+
+        obs.enable()
+        inst = coarsest_partition(succ, keys)
+        obs.disable()
+
+        assert inst == base
+        assert "partition.coarsest" in obs.span_summary()
+
+        # a tau-chain shares every barb key, so refinement must split:
+        # block ids end up graded by distance to the dead end
+        chain = [frozenset({i + 1}) for i in range(3)] + [frozenset()]
+        flat = [frozenset()] * 4
+        base = coarsest_partition(chain, flat)
+        obs.enable()
+        inst = coarsest_partition(chain, flat)
+        obs.disable()
+        assert inst == base and len(set(base)) == 4
+        assert obs.counter_value("partition.rounds") >= 1
+        assert obs.counter_value("partition.splits") >= 1
+
+    def test_equivalence_verdicts_identical(self):
+        from repro.equiv.labelled import labelled_bisimilar
+        pairs = [("a?", "0", True), ("a?.c!", "0", False),
+                 ("a! + a!", "a!", True)]
+        for sp, sq, want in pairs:
+            assert labelled_bisimilar(parse(sp), parse(sq)) is want
+        obs.enable()
+        for sp, sq, want in pairs:
+            assert labelled_bisimilar(parse(sp), parse(sq)) is want
+        obs.disable()
+        assert obs.counter_value("game.pairs_explored") > 0
+
+
+class TestCliFlags:
+    def test_trace_flag_before_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["--trace", str(path), "eq", "a?", "0"]) == 0
+        err = capsys.readouterr().err
+        assert f"trace written to {path}" in err
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "equiv.labelled" in names
+
+    def test_flags_after_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["eq", "a?", "0", "--trace", str(path),
+                     "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "equiv.labelled" in err          # span tree on stderr
+        assert "game.pairs_explored" in err     # counters on stderr
+        assert path.exists()
+
+    def test_cli_leaves_obs_disabled(self, tmp_path):
+        assert main(["--metrics", "canon", "a!"]) == 0
+        assert not obs.is_enabled()
+
+    def test_no_flags_no_observation(self, capsys):
+        assert main(["eq", "a?", "0"]) == 0
+        assert obs.trace_spans() == []
