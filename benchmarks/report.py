@@ -13,6 +13,12 @@ Run:  python benchmarks/report.py [--json [PATH]] [--rows A,B,...] [--quick]
 checkers is tracked PR over PR.  ``--quick`` restricts to a cheap smoke
 subset (used by CI); ``--rows`` selects experiments by name.
 
+Every row runs under an ambient :class:`repro.engine.Budget` meter (a
+generous safety-net cap, far above any row's real consumption), so the
+JSON rows carry the engine's resource accounting — states/pairs charged
+and wall-clock — next to the verdict (schema 3).  A row whose checkers
+come back UNKNOWN is reported as INDETERMINATE rather than MISMATCH.
+
 The harness runs with ``repro.obs`` enabled: every row executes inside an
 ``exp.<name>`` span, and the JSON payload embeds the span aggregates and
 engine counters under the ``"obs"`` key — so the ledger explains *where*
@@ -229,29 +235,40 @@ def main(argv: list[str] | None = None) -> int:
     obs.reset()
     obs.enable()
 
+    from repro.engine import Budget, IndeterminateVerdict, govern
+
     print(f"{'exp':6s} {'verdict':9s} {'time':>7s}  claim")
     print("-" * 100)
     rows = []
     wall0 = time.time()
     for name, claim, fn in todo:
         t0 = time.perf_counter()
-        with obs.span(f"exp.{name}") as sp:
-            verdict = fn()
-            sp.set(verdict=bool(verdict))
+        # Generous harness-wide pool: meters every row's engine work and
+        # keeps a safety net far above any row's real consumption.
+        meter = Budget(max_states=5_000_000).meter()
+        with obs.span(f"exp.{name}") as sp, govern(meter):
+            try:
+                verdict = bool(fn())
+            except IndeterminateVerdict:
+                verdict = None
+            sp.set(verdict=verdict)
         elapsed = time.perf_counter() - t0
-        status = "ok " if verdict else "MISMATCH"
+        status = ("ok " if verdict
+                  else "INDETERMINATE" if verdict is None else "MISMATCH")
         print(f"{name:6s} {status:9s} {elapsed:6.2f}s  {claim}")
-        rows.append({"exp": name, "claim": claim, "verdict": bool(verdict),
-                     "seconds": elapsed})
+        rows.append({"exp": name, "claim": claim, "verdict": verdict,
+                     "truth": {True: "true", False: "false",
+                               None: "unknown"}[verdict],
+                     "seconds": elapsed, "budget": meter.stats()})
     print("-" * 100)
-    bad = [r["exp"] for r in rows if not r["verdict"]]
+    bad = [r["exp"] for r in rows if r["verdict"] is not True]
     print(f"{len(rows)} claims checked; "
           + ("ALL REPRODUCED" if not bad else f"MISMATCHES: {bad}"))
 
     if args.json:
         from repro.core import cache_stats
         payload = {
-            "schema": 2,
+            "schema": 3,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,

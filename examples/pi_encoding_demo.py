@@ -13,6 +13,7 @@ from repro.calculi.pi import pi_barbed_bisimilar, pi_step_transitions
 from repro.core import parse, pretty, step_transitions
 from repro.core.actions import OutputAction
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 from repro.equiv.barbed import strong_barbed_bisimilar
 
 
@@ -35,10 +36,10 @@ def main() -> None:
     print("   source (pi):   ", pretty(src))
     print("   encoding size: ", enc.size(), "nodes")
     print("   reaches done:  ",
-          can_reach_barb(enc, "done", max_states=30_000,
+          can_reach_barb(enc, "done", budget=Budget(max_states=30_000),
                          collapse_duplicates=True))
     print("   delivers v:    ",
-          can_reach_barb(enc, "v", max_states=30_000,
+          can_reach_barb(enc, "v", budget=Budget(max_states=30_000),
                          collapse_duplicates=True))
 
     print("\n3) The congruence-property swap")

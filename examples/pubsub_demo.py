@@ -13,6 +13,7 @@ from repro.apps.pubsub import (
     subscriber,
 )
 from repro.core.builder import out, par
+from repro.engine import Budget
 
 
 def main() -> None:
@@ -20,7 +21,7 @@ def main() -> None:
     system = network(["headline"], ["alice", "bob"])
     for who in ("alice", "bob", "eve"):
         got = delivered(system, who, "headline",
-                        max_states=8_000 if who == "eve" else 60_000)
+                        budget=Budget(max_states=8_000 if who == "eve" else 60_000))
         print(f"   {who:6s}: {'delivered' if got else 'nothing'}"
               + ("" if who != "eve" else "   (never subscribed)"))
 

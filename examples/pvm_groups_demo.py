@@ -21,10 +21,11 @@ from repro.apps.pvm import (
     machine,
 )
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 
 def reaches(system, chan, budget=80_000):
-    return can_reach_barb(system, chan, max_states=budget,
+    return can_reach_barb(system, chan, budget=Budget(max_states=budget),
                           collapse_duplicates=True)
 
 

@@ -14,6 +14,7 @@ from repro.apps.radio import (
     unreliable_network,
 )
 from repro.core.reduction import barbs, can_reach_barb
+from repro.engine import Budget
 from repro.runtime.analysis import find_quiescent
 from repro.runtime.simulator import run
 
@@ -24,7 +25,7 @@ def main() -> None:
     print("   rx_a can receive frame1:", can_deliver(system, "rx_a", "frame1"))
     print("   rx_b can receive frame1:", can_deliver(system, "rx_b", "frame1"))
     print("   sender can learn completion:",
-          can_reach_barb(system, "sent_ok", max_states=60_000,
+          can_reach_barb(system, "sent_ok", budget=Budget(max_states=60_000),
                          collapse_duplicates=True))
 
     print("\n2) The fire-and-forget baseline really loses frames")
@@ -33,7 +34,7 @@ def main() -> None:
     from repro.core.discard import discards
     naive = par(unreliable_network("frame1", ["rx_a"]),
                 _delivery_probe("rx_a", "frame1", "got"))
-    quiescent = find_quiescent(naive, max_states=20_000)
+    quiescent = find_quiescent(naive, budget=Budget(max_states=20_000))
     lost = [s for s in quiescent if not discards(s, "rx_a")]
     print(f"   quiescent outcomes: {len(quiescent)}; frame lost in"
           f" {len(lost)} of them (watcher still waiting)")

@@ -16,6 +16,23 @@ Packages
 ``repro.apps``     the paper's examples as runnable applications
 ``repro.runtime``  a seeded simulator for closed broadcast systems
 ``repro.obs``      tracing spans, metrics and progress hooks (off by default)
+``repro.engine``   budgets, meters and three-valued verdicts
+``repro.api``      the stable high-level facade (re-exported here)
+
+Facade
+------
+The common workflows are four verbs, importable straight off the package::
+
+    import repro
+    p = repro.parse("a<v> | a(x).x!")
+    repro.check("tau.a!", "a!", relation="barbed", weak=True)
+    repro.explore(p, budget=repro.Budget(max_states=500))
+    repro.decide_axioms("a! + a!", "a!")
+
+Every bounded analysis takes a keyword-only ``budget=`` (a
+:class:`repro.Budget`) and returns a three-valued :class:`repro.Verdict`
+— ``UNKNOWN`` when the budget tripped, never a silently-wrong definite
+answer.
 """
 
 import sys as _sys
@@ -25,9 +42,29 @@ import sys as _sys
 # and canonicalization recurse over them, so give CPython head-room.
 _sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
 
-from . import apps, axioms, calculi, core, equiv, lts, obs, runtime
+from . import apps, axioms, calculi, core, engine, equiv, lts, obs, runtime
+from .api import Exploration, check, decide_axioms, explore, parse, reach
+from .engine import (
+    Budget,
+    BudgetExceeded,
+    CancelToken,
+    IndeterminateVerdict,
+    Meter,
+    Truth,
+    Verdict,
+    govern,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["apps", "axioms", "calculi", "core", "equiv", "lts", "obs",
-           "runtime", "__version__"]
+__all__ = [
+    # subpackages
+    "apps", "axioms", "calculi", "core", "engine", "equiv", "lts", "obs",
+    "runtime",
+    # facade verbs
+    "parse", "check", "explore", "decide_axioms", "reach", "Exploration",
+    # engine vocabulary
+    "Budget", "Meter", "CancelToken", "BudgetExceeded", "govern",
+    "Verdict", "Truth", "IndeterminateVerdict",
+    "__version__",
+]

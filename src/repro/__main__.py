@@ -15,6 +15,14 @@ barb "<process>" <channel> [--max-states N]
 canon "<process>"
     Print the canonical state form.
 
+Budget (before or after the subcommand):
+--max-states N  cap the number of explored states/pairs
+--timeout S     wall-clock deadline in seconds
+
+Exit status of the decision commands (eq, barb): 0 = definite yes
+(equivalent / reachable), 1 = definite no, 2 = UNKNOWN — the budget
+tripped before the bounded search completed.
+
 Observability (before or after the subcommand; see docs/observability.md):
 --trace PATH    record tracing spans, write chrome://tracing JSON to PATH
 --metrics       print engine counters and the span tree to stderr at exit
@@ -35,7 +43,21 @@ from .core.parser import parse
 from .core.pretty import pretty
 from .core.reduction import can_reach_barb
 from .core.semantics import step_transitions, transitions
+from .engine.budget import Budget, BudgetExceeded, govern
 from .runtime.simulator import run as sim_run
+
+#: Exit status when a decision command's budget tripped (UNKNOWN).
+EXIT_UNKNOWN = 2
+
+
+def _budget_from(args: argparse.Namespace,
+                 default_states: int | None = None) -> Budget:
+    """The budget the command should run under, from the CLI flags."""
+    max_states = getattr(args, "max_states", None)
+    timeout = getattr(args, "timeout", None)
+    if max_states is None:
+        max_states = default_states
+    return Budget(max_states=max_states, deadline=timeout)
 
 
 def _cmd_steps(args: argparse.Namespace) -> int:
@@ -65,33 +87,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_eq(args: argparse.Namespace) -> int:
-    from .equiv.barbed import barbed_bisimilar
-    from .equiv.congruence import congruent
-    from .equiv.labelled import labelled_bisimilar
-    from .equiv.noisy import noisy_similar
-    from .equiv.step import step_bisimilar
+    from .api import check
 
-    p, q = parse(args.p), parse(args.q)
-    deciders = {
-        "barbed": lambda: barbed_bisimilar(p, q, weak=args.weak),
-        "step": lambda: step_bisimilar(p, q, weak=args.weak),
-        "labelled": lambda: labelled_bisimilar(p, q, weak=args.weak),
-        "noisy": lambda: noisy_similar(p, q, weak=args.weak),
-        "congruence": lambda: congruent(p, q, weak=args.weak),
-    }
-    verdict = deciders[args.relation]()
+    budget = _budget_from(args)
+    verdict = check(parse(args.p), parse(args.q), relation=args.relation,
+                    weak=args.weak, budget=budget)
     kind = ("weak " if args.weak else "strong ") + args.relation
-    print(f"{kind}: {'EQUIVALENT' if verdict else 'DIFFERENT'}")
-    return 0 if verdict else 1
+    if verdict.is_unknown:
+        print(f"{kind}: UNKNOWN ({verdict.reason})")
+        return EXIT_UNKNOWN
+    print(f"{kind}: {'EQUIVALENT' if verdict.is_true else 'DIFFERENT'}")
+    return 0 if verdict.is_true else 1
 
 
 def _cmd_barb(args: argparse.Namespace) -> int:
     p = parse(args.process)
-    got = can_reach_barb(p, args.channel, max_states=args.max_states,
-                         collapse_duplicates=True)
-    print(f"{args.channel}: {'reachable' if got else 'not reachable'}"
-          f" (within {args.max_states} states)")
-    return 0 if got else 1
+    budget = _budget_from(args, default_states=50_000)
+    verdict = can_reach_barb(p, args.channel, budget=budget,
+                             collapse_duplicates=True)
+    scope = ("" if budget.max_states is None
+             else f" (within {budget.max_states} states)")
+    if verdict.is_unknown:
+        print(f"{args.channel}: UNKNOWN ({verdict.reason}){scope}")
+        return EXIT_UNKNOWN
+    word = "reachable" if verdict.is_true else "not reachable"
+    print(f"{args.channel}: {word}{scope}")
+    return 0 if verdict.is_true else 1
 
 
 def _cmd_canon(args: argparse.Namespace) -> int:
@@ -103,12 +124,22 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     from .lts.graph import build_step_lts
     from .lts.minimize import minimal_to_dot, minimize, to_dot
 
-    lts, root = build_step_lts(parse(args.process),
-                               max_states=args.max_states)
+    truncated = None
+    try:
+        lts, root = build_step_lts(parse(args.process),
+                                   budget=_budget_from(args,
+                                                       default_states=2_000))
+    except BudgetExceeded as exc:
+        lts, root = exc.partial
+        truncated = exc.reason
     if args.minimize:
         print(minimal_to_dot(minimize(lts, root)))
     else:
         print(to_dot(lts, root))
+    if truncated is not None:
+        print(f"[budget] graph truncated ({truncated}) at {lts.n_states} "
+              f"states", file=sys.stderr)
+        return EXIT_UNKNOWN
     return 0
 
 
@@ -134,13 +165,37 @@ def _add_obs_args(parser: argparse.ArgumentParser, *,
         help="rate-limited progress heartbeats on stderr")
 
 
+def _add_budget_args(parser: argparse.ArgumentParser, *,
+                     suppress: bool = False) -> None:
+    """The resource-budget flags, accepted before *and* after the
+    subcommand (same SUPPRESS discipline as the observability group)."""
+    group = parser.add_argument_group(
+        "budget",
+        "resource caps for the bounded searches; when a decision command "
+        "(eq, barb) trips its budget it prints UNKNOWN and exits with "
+        f"status {EXIT_UNKNOWN}")
+    group.add_argument(
+        "--max-states", type=int, metavar="N",
+        default=argparse.SUPPRESS if suppress else None,
+        help="cap the number of explored states/pairs")
+    group.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        default=argparse.SUPPRESS if suppress else None,
+        help="wall-clock deadline for the whole command")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="bpi-calculus tools (Ene & Muntean 2001)")
+        description="bpi-calculus tools (Ene & Muntean 2001)",
+        epilog=f"decision commands (eq, barb) exit 0 for a definite yes, "
+               f"1 for a definite no and {EXIT_UNKNOWN} when the budget "
+               f"tripped (UNKNOWN)")
     _add_obs_args(parser)
+    _add_budget_args(parser)
     obs_parent = argparse.ArgumentParser(add_help=False)
     _add_obs_args(obs_parent, suppress=True)
+    _add_budget_args(obs_parent, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("steps", help="autonomous transitions",
@@ -160,20 +215,20 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--max-steps", type=int, default=200)
     s.set_defaults(func=_cmd_run)
 
-    s = sub.add_parser("eq", help="decide an equivalence",
+    s = sub.add_parser("eq", help="decide an equivalence (exit 0/1/2)",
                        parents=[obs_parent])
     s.add_argument("p")
     s.add_argument("q")
     s.add_argument("--relation", default="labelled",
                    choices=["barbed", "step", "labelled", "noisy",
-                            "congruence"])
+                            "congruence", "similar"])
     s.add_argument("--weak", action="store_true")
     s.set_defaults(func=_cmd_eq)
 
-    s = sub.add_parser("barb", help="barb reachability", parents=[obs_parent])
+    s = sub.add_parser("barb", help="barb reachability (exit 0/1/2)",
+                       parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("channel")
-    s.add_argument("--max-states", type=int, default=50_000)
     s.set_defaults(func=_cmd_barb)
 
     s = sub.add_parser("canon", help="canonical state form",
@@ -185,22 +240,31 @@ def main(argv: list[str] | None = None) -> int:
                        parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--minimize", action="store_true")
-    s.add_argument("--max-states", type=int, default=2_000)
     s.set_defaults(func=_cmd_graph)
 
     args = parser.parse_args(argv)
+
+    def dispatch() -> int:
+        # Ambient governance: when budget flags were given, every bounded
+        # analysis the command touches shares one resource pool, so a
+        # --timeout bounds the whole command rather than each sub-search.
+        if (getattr(args, "max_states", None) is not None
+                or getattr(args, "timeout", None) is not None):
+            with govern(_budget_from(args)):
+                return args.func(args)
+        return args.func(args)
 
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     want_progress = getattr(args, "progress", False)
     if not (trace_path or want_metrics or want_progress):
-        return args.func(args)
+        return dispatch()
 
     from . import obs
     obs.reset()  # one CLI invocation == one trace
     obs.enable(progress=want_progress)
     try:
-        return args.func(args)
+        return dispatch()
     finally:
         obs.disable()
         if trace_path:

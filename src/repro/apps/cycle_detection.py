@@ -108,25 +108,28 @@ def prefed_system(edges: Sequence[Edge], o: Name = SIGNAL_CHANNEL) -> Process:
     return par(detector(EDGE_CHANNEL, o), *managers)
 
 
-def detects_cycle(edges: Sequence[Edge], *, max_states: int = 30_000,
+def detects_cycle(edges: Sequence[Edge], *, budget=None,
+                  max_states: int | None = None,
                   prefed: bool = True) -> bool:
     """Can the detector system reach a cycle signal?  (Bounded search.)
 
     The system of an *acyclic* graph has an infinite state space (token
     broadcasters run forever, accumulating pending re-emissions), so this
-    is a semi-decision bounded by *max_states*: ``True`` is definite (a
-    signal state was reached); ``False`` means no signal within the
-    budget.  Cycles are found after very few states in practice — the
-    tests cross-check against the graph-theoretic reference on every
-    digraph up to isomorphism-covering families.
+    is deliberately a bool-valued *semi-decision*: ``True`` is definite
+    (a signal state was reached); ``False`` conflates "no signal within
+    the budget" with genuine absence — use
+    :func:`repro.core.reduction.can_reach_barb` directly for the
+    three-valued verdict.  Cycles are found after very few states in
+    practice — the tests cross-check against the graph-theoretic
+    reference on every digraph up to isomorphism-covering families.
     """
-    from ..core.reduction import StateSpaceExceeded
+    from ..engine.budget import Budget, legacy_cap
+    budget = legacy_cap("detects_cycle", budget, max_states=max_states)
+    if budget is None:
+        budget = Budget(max_states=30_000)
     system = prefed_system(edges) if prefed else build_system(edges)
-    try:
-        return can_reach_barb(system, SIGNAL_CHANNEL, max_states=max_states,
-                               collapse_duplicates=True)
-    except StateSpaceExceeded:
-        return False
+    return can_reach_barb(system, SIGNAL_CHANNEL, budget=budget,
+                          collapse_duplicates=True).is_true
 
 
 def simulate(edges: Sequence[Edge], *, seed: int = 0,

@@ -84,13 +84,21 @@ def network(payloads: Sequence[Name], subscribers: Sequence[Name],
     return par(*parts)
 
 
-def delivered(system: Process, deliver: Name, payload: Name,
-              max_states: int = 60_000) -> bool:
-    """Can *payload* be delivered on *deliver*?  (Bounded search.)"""
+def delivered(system: Process, deliver: Name, payload: Name, *,
+              budget=None, max_states: int | None = None):
+    """Can *payload* be delivered on *deliver*?  (Bounded search.)
+
+    Returns the three-valued :class:`~repro.engine.Verdict` of the
+    underlying reachability query.
+    """
+    from ..engine.budget import Budget, legacy_cap
+    budget = legacy_cap("delivered", budget, max_states=max_states)
+    if budget is None:
+        budget = Budget(max_states=60_000)
     signal = f"{deliver}_got_{payload}"
     probe = _eq_probe(deliver, payload, signal)
     return can_reach_barb(par(system, probe), signal,
-                          max_states=max_states, collapse_duplicates=True)
+                          budget=budget, collapse_duplicates=True)
 
 
 def _eq_probe(deliver: Name, expected: Name, signal: Name) -> Process:

@@ -118,10 +118,18 @@ def _delivery_probe(deliver: Name, payload: Name, signal: Name) -> Process:
     return watch(deliver, payload, signal)
 
 
-def can_deliver(system: Process, deliver: Name, payload: Name,
-                max_states: int = 60_000) -> bool:
-    """May the payload ever be delivered on *deliver*?"""
+def can_deliver(system: Process, deliver: Name, payload: Name, *,
+                budget=None, max_states: int | None = None):
+    """May the payload ever be delivered on *deliver*?
+
+    Returns the three-valued :class:`~repro.engine.Verdict` of the
+    underlying reachability query.
+    """
+    from ..engine.budget import Budget, legacy_cap
+    budget = legacy_cap("can_deliver", budget, max_states=max_states)
+    if budget is None:
+        budget = Budget(max_states=60_000)
     signal = f"{deliver}_rx"
     probe = _delivery_probe(deliver, payload, signal)
     return can_reach_barb(par(system, probe), signal,
-                          max_states=max_states, collapse_duplicates=True)
+                          budget=budget, collapse_duplicates=True)

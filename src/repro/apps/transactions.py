@@ -276,11 +276,20 @@ def build_system(log: Sequence[Transaction]) -> Process:
     return par(build_database(items, partitions), transaction_feeder(log))
 
 
-def detects_inconsistency(log: Sequence[Transaction], *,
-                          max_states: int = 120_000) -> bool:
-    """Can the process system reach an ``error`` broadcast?"""
+def detects_inconsistency(log: Sequence[Transaction], *, budget=None,
+                          max_states: int | None = None):
+    """Can the process system reach an ``error`` broadcast?
+
+    Returns the three-valued :class:`~repro.engine.Verdict` of the
+    underlying reachability query.
+    """
+    from ..engine.budget import Budget, legacy_cap
+    budget = legacy_cap("detects_inconsistency", budget,
+                        max_states=max_states)
+    if budget is None:
+        budget = Budget(max_states=120_000)
     return can_reach_barb(build_system(log), ERROR_CHANNEL,
-                          max_states=max_states, collapse_duplicates=True)
+                          budget=budget, collapse_duplicates=True)
 
 
 def simulate(log: Sequence[Transaction], *, seed: int = 0,

@@ -36,48 +36,75 @@ from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
+from ..engine.budget import Budget, BudgetExceeded, Meter, resolve_meter
+from ..engine.verdict import Verdict
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
 from .conditions import Partition, all_partitions
 from .nf import NFInput, NFOutput, NFPrefix, NFTau, Summand, head_summands
 
 
-def congruent_finite(p: Process, q: Process) -> bool:
-    """Decide ``p ~c q`` for finite processes (Section 5 fragment)."""
+def congruent_finite(p: Process, q: Process, *,
+                     budget: Budget | Meter | None = None) -> Verdict:
+    """Decide ``p ~c q`` for finite processes (Section 5 fragment).
+
+    The procedure always terminates, so the default budget is unlimited;
+    a *budget* (each ``_match`` call charges one unit; deadlines and
+    cancellation are polled) turns pathological blowups into ``UNKNOWN``.
+    """
+    meter = resolve_meter(budget)
     names = free_names(p) | free_names(q)
     with _tracing.span("axioms.congruent_finite") as sp:
-        verdict = True
+        flag = True
         n_conditions = 0
-        for part in all_partitions(names):
-            n_conditions += 1
-            if _OBS.enabled:
-                _metrics.inc("axioms.conditions_checked")
-                _progress.report("axioms.congruent_finite",
-                                 conditions=n_conditions)
-            if not _match(p, q, part, noisy=False):
-                verdict = False
-                break
-        sp.set(verdict=verdict, conditions=n_conditions)
-    return verdict
+        try:
+            for part in all_partitions(names):
+                n_conditions += 1
+                if _OBS.enabled:
+                    _metrics.inc("axioms.conditions_checked")
+                    _progress.report("axioms.congruent_finite",
+                                     conditions=n_conditions)
+                if not _match(p, q, part, noisy=False, meter=meter):
+                    flag = False
+                    break
+        except BudgetExceeded as exc:
+            sp.set(verdict="unknown", conditions=n_conditions)
+            return Verdict.from_exceeded(exc)
+        sp.set(verdict=flag, conditions=n_conditions)
+    return Verdict.of(flag, stats=meter.stats())
 
 
-def bisimilar_finite(p: Process, q: Process) -> bool:
+def bisimilar_finite(p: Process, q: Process, *,
+                     budget: Budget | Meter | None = None) -> Verdict:
     """Decide ``p ~ q`` syntactically (noisy matching from the first step),
     under the identity interpretation of the free names."""
+    meter = resolve_meter(budget)
     names = free_names(p) | free_names(q)
     with _tracing.span("axioms.bisimilar_finite") as sp:
-        verdict = _match(p, q, Partition.discrete(names), noisy=True)
-        sp.set(verdict=verdict)
-    return verdict
+        try:
+            flag = _match(p, q, Partition.discrete(names), noisy=True,
+                          meter=meter)
+        except BudgetExceeded as exc:
+            sp.set(verdict="unknown")
+            return Verdict.from_exceeded(exc)
+        sp.set(verdict=flag)
+    return Verdict.of(flag, stats=meter.stats())
 
 
-def noisy_finite(p: Process, q: Process) -> bool:
+def noisy_finite(p: Process, q: Process, *,
+                 budget: Budget | Meter | None = None) -> Verdict:
     """Decide ``p ~+ q`` syntactically (strict first step, noisy below)."""
+    meter = resolve_meter(budget)
     names = free_names(p) | free_names(q)
     with _tracing.span("axioms.noisy_finite") as sp:
-        verdict = _match(p, q, Partition.discrete(names), noisy=False)
-        sp.set(verdict=verdict)
-    return verdict
+        try:
+            flag = _match(p, q, Partition.discrete(names), noisy=False,
+                          meter=meter)
+        except BudgetExceeded as exc:
+            sp.set(verdict="unknown")
+            return Verdict.from_exceeded(exc)
+        sp.set(verdict=flag)
+    return Verdict.of(flag, stats=meter.stats())
 
 
 # ---------------------------------------------------------------------------
@@ -151,22 +178,24 @@ def _output_key(prefix: NFOutput, part: Partition) -> tuple:
         for a in prefix.args))
 
 
-def _match(p: Process, q: Process, part: Partition, noisy: bool) -> bool:
+def _match(p: Process, q: Process, part: Partition, noisy: bool, *,
+           meter: Meter) -> bool:
     """Does ``p sigma  R  q sigma`` hold for sigma agreeing with *part*,
     where R is ``~`` (noisy=True) or ``~+`` (noisy=False)?"""
+    meter.charge()
     if _OBS.enabled:
         _metrics.inc("axioms.match_calls")
         _metrics.inc("axioms.hnf_expansions", 2)
     part = part.extend_discrete(free_names(p) | free_names(q))
     ls = head_summands(p, part)
     rs = head_summands(q, part)
-    return (_match_one_way(ls, rs, p, q, part, noisy)
-            and _match_one_way(rs, ls, q, p, part, noisy))
+    return (_match_one_way(ls, rs, p, q, part, noisy, meter)
+            and _match_one_way(rs, ls, q, p, part, noisy, meter))
 
 
 def _match_one_way(mine: list[Summand], their: list[Summand],
                    me_proc: Process, their_proc: Process,
-                   part: Partition, noisy: bool) -> bool:
+                   part: Partition, noisy: bool, meter: Meter) -> bool:
     rep = part.representative
     their_inputs = [(pre, cont) for pre, cont in their
                     if isinstance(pre, NFInput)]
@@ -178,7 +207,7 @@ def _match_one_way(mine: list[Summand], their: list[Summand],
     for prefix, cont in mine:
         if isinstance(prefix, NFTau):
             if not any(isinstance(pre2, NFTau)
-                       and _match(cont, cont2, part, noisy=True)
+                       and _match(cont, cont2, part, noisy=True, meter=meter)
                        for pre2, cont2 in their):
                 return False
         elif isinstance(prefix, NFOutput):
@@ -192,7 +221,7 @@ def _match_one_way(mine: list[Summand], their: list[Summand],
                 pre2_c, cont2_c = _unify_binders(pre2, cont2, part)
                 if _output_key(pre2_c, part) != key:
                     continue
-                if _match(cont_c, cont2_c, ext, noisy=True):
+                if _match(cont_c, cont2_c, ext, noisy=True, meter=meter):
                     ok = True
                     break
             if not ok:
@@ -200,7 +229,7 @@ def _match_one_way(mine: list[Summand], their: list[Summand],
         else:
             assert isinstance(prefix, NFInput)
             if not _match_input(prefix, cont, their_inputs, their_proc,
-                                their_in_chans, part, noisy):
+                                their_in_chans, part, noisy, meter):
                 return False
 
     # Noisy discard challenges: for each channel the partner listens on but
@@ -219,7 +248,8 @@ def _match_one_way(mine: list[Summand], their: list[Summand],
                         continue
                     received = apply_subst(cont2,
                                            dict(zip(pre2.params, values)))
-                    if _match(me_proc, received, ext, noisy=True):
+                    if _match(me_proc, received, ext, noisy=True,
+                              meter=meter):
                         ok = True
                         break
                 if not ok:
@@ -230,7 +260,7 @@ def _match_one_way(mine: list[Summand], their: list[Summand],
 def _match_input(prefix: NFInput, cont: Process,
                  their_inputs: list[Summand], their_proc: Process,
                  their_in_chans: set[tuple[Name, int]], part: Partition,
-                 noisy: bool) -> bool:
+                 noisy: bool, meter: Meter) -> bool:
     rep = part.representative
     chan = rep(prefix.chan)
     arity = len(prefix.params)
@@ -248,11 +278,12 @@ def _match_input(prefix: NFInput, cont: Process,
             if rep(pre2.chan) != chan or len(pre2.params) != arity:
                 continue
             unified = apply_subst(cont2, dict(zip(pre2.params, params)))
-            if _match(cont, unified, current, noisy=True):
+            if _match(cont, unified, current, noisy=True, meter=meter):
                 return True
         if noisy and not partner_listens:
             # partner discards: it answers by staying put
-            return _match(cont, their_proc, current, noisy=True)
+            return _match(cont, their_proc, current, noisy=True,
+                          meter=meter)
         return False
 
     return go(0, part)

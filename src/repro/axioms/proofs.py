@@ -42,6 +42,16 @@ from ..core.syntax import (
     Sum,
     Tau,
 )
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+
+#: Default budget for the rewriting engine (units = rewrite steps).
+DEFAULT_BUDGET = Budget(max_states=2_000)
 
 
 @dataclass(frozen=True)
@@ -282,34 +292,52 @@ def _rewrite_once(p: Process) -> "tuple[str, Process] | None":
     return None
 
 
-def normalize(p: Process, max_steps: int = 2_000) -> Derivation:
-    """Rewrite *p* to a normal form, recording every step."""
+def normalize(p: Process, *, budget: Budget | Meter | None = None,
+              max_steps: int | None = None) -> Derivation:
+    """Rewrite *p* to a normal form, recording every step.
+
+    Each rewrite step charges one unit against the budget; exhaustion
+    raises :class:`~repro.engine.budget.BudgetExceeded` (a
+    ``RuntimeError``, as the old cap was) with the partial derivation on
+    ``exc.partial``.
+    """
+    budget = legacy_cap("normalize", budget, max_steps=max_steps)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     d = Derivation(source=p, target=p)
     current = p
-    for _ in range(max_steps):
+    while True:
         hit = _rewrite_once(current)
         if hit is None:
             break
+        try:
+            meter.charge()
+        except BudgetExceeded as exc:
+            d.target = current
+            if exc.partial is None:
+                exc.partial = d
+            raise
         law, nxt = hit
         d.steps.append(Step(law, current, nxt))
         current = nxt
-    else:
-        raise RuntimeError(f"rewriting did not terminate in {max_steps} steps")
     d.target = current
     d.closed = True
     return d
 
 
-def prove_equal(p: Process, q: Process,
-                max_steps: int = 2_000) -> "Derivation | None":
+def prove_equal(p: Process, q: Process, *,
+                budget: Budget | Meter | None = None,
+                max_steps: int | None = None) -> "Derivation | None":
     """Try to prove ``p = q`` in A by joining their normal forms.
 
     Returns a derivation from *p* to *q* (the q-side steps reversed —
     equational reasoning is symmetric), or None when the normal forms
     differ (which does NOT refute ``p ~c q``; see the module docstring).
+    Both normalizations draw from one shared budget.
     """
-    dp = normalize(p, max_steps)
-    dq = normalize(q, max_steps)
+    budget = legacy_cap("prove_equal", budget, max_steps=max_steps)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    dp = normalize(p, budget=meter)
+    dq = normalize(q, budget=meter)
     if not alpha_eq(dp.target, dq.target):
         return None
     joined = Derivation(source=p, target=q)

@@ -270,14 +270,23 @@ def cbs_transitions(p: CbsProcess, values: frozenset[str],
 
 
 def cbs_bisimilar(p: CbsProcess, q: CbsProcess, *, noisy: bool = True,
-                  max_states: int = 20_000) -> bool:
+                  budget=None, max_states: int | None = None):
     """Strong bisimilarity of CBS terms via explicit LTS + refinement.
 
     ``noisy=True`` (the CBS notion): hearing may be answered by a discard,
     so ``x?O ~ O`` — receiving and ignoring is invisible, just as in bpi.
     ``noisy=False`` matches hear-labels strictly (the ~+-style relation).
+    Returns a three-valued :class:`~repro.engine.Verdict`.
     """
     from collections import deque
+
+    from ..engine.budget import (
+        Budget, BudgetExceeded, legacy_cap, resolve_meter,
+    )
+    from ..engine.verdict import Verdict
+
+    budget = legacy_cap("cbs_bisimilar", budget, max_states=max_states)
+    meter = resolve_meter(budget, Budget(max_states=20_000))
 
     values = alphabet(p) | alphabet(q) | {"_w"}
     states: list[CbsProcess] = []
@@ -288,28 +297,30 @@ def cbs_bisimilar(p: CbsProcess, q: CbsProcess, *, noisy: bool = True,
         sid = index.get(r)
         if sid is not None:
             return sid, False
-        if len(states) >= max_states:
-            raise RuntimeError(f"CBS graph exceeds {max_states} states")
+        meter.charge()
         index[r] = sid = len(states)
         states.append(r)
         edges.append([])
         return sid, True
 
-    queue: deque[int] = deque()
-    roots = []
-    for r in (p, q):
-        sid, fresh = intern(r)
-        roots.append(sid)
-        if fresh:
-            queue.append(sid)
-    while queue:
-        sid = queue.popleft()
-        for label, target in cbs_transitions(states[sid], values,
-                                             noisy=noisy):
-            tid, fresh = intern(target)
-            edges[sid].append((label, tid))
+    try:
+        queue: deque[int] = deque()
+        roots = []
+        for r in (p, q):
+            sid, fresh = intern(r)
+            roots.append(sid)
             if fresh:
-                queue.append(tid)
+                queue.append(sid)
+        while queue:
+            sid = queue.popleft()
+            for label, target in cbs_transitions(states[sid], values,
+                                                 noisy=noisy):
+                tid, fresh = intern(target)
+                edges[sid].append((label, tid))
+                if fresh:
+                    queue.append(tid)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
 
     labels = sorted({lab for es in edges for lab, _ in es})
     n = len(states)
@@ -326,7 +337,8 @@ def cbs_bisimilar(p: CbsProcess, q: CbsProcess, *, noisy: bool = True,
         if new_block == block:
             break
         block = new_block
-    return block[roots[0]] == block[roots[1]]
+    return Verdict.of(block[roots[0]] == block[roots[1]],
+                      stats=meter.stats())
 
 
 # ---------------------------------------------------------------------------

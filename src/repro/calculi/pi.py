@@ -171,14 +171,23 @@ def pi_tau_successors(p: Process) -> tuple[Process, ...]:
 
 
 def pi_barbed_bisimilar(p: Process, q: Process, *, weak: bool = False,
-                        max_states: int = 20_000) -> bool:
-    """Barbed bisimilarity under pi semantics (for the comparative tests)."""
+                        budget=None, max_states: int | None = None):
+    """Barbed bisimilarity under pi semantics (for the comparative tests).
+
+    Returns a three-valued :class:`~repro.engine.Verdict`.
+    """
     from collections import deque
 
     from ..core.canonical import canonical_alpha
-    from ..core.reduction import StateSpaceExceeded
+    from ..engine.budget import (
+        Budget, BudgetExceeded, legacy_cap, resolve_meter,
+    )
+    from ..engine.verdict import Verdict
     from ..lts.partition import coarsest_partition
     from ..lts.weak import reachability_closure, weak_keys
+
+    budget = legacy_cap("pi_barbed_bisimilar", budget, max_states=max_states)
+    meter = resolve_meter(budget, Budget(max_states=20_000))
 
     states: list[Process] = []
     index: dict[Process, int] = {}
@@ -190,32 +199,36 @@ def pi_barbed_bisimilar(p: Process, q: Process, *, weak: bool = False,
         sid = index.get(c)
         if sid is not None:
             return sid, False
-        if len(states) >= max_states:
-            raise StateSpaceExceeded(f"pi graph exceeds {max_states} states")
+        meter.charge()
         index[c] = sid = len(states)
         states.append(c)
         succ.append(set())
         keys.append(pi_barbs(c))
         return sid, True
 
-    queue: deque[int] = deque()
-    roots = []
-    for r in (p, q):
-        sid, fresh = intern(r)
-        roots.append(sid)
-        if fresh:
-            queue.append(sid)
-    while queue:
-        sid = queue.popleft()
-        for t in pi_tau_successors(states[sid]):
-            tid, fresh = intern(t)
-            succ[sid].add(tid)
+    try:
+        queue: deque[int] = deque()
+        roots = []
+        for r in (p, q):
+            sid, fresh = intern(r)
+            roots.append(sid)
             if fresh:
-                queue.append(tid)
-    frozen = [frozenset(s) for s in succ]
-    if weak:
-        closure = reachability_closure(frozen)
-        block = coarsest_partition(closure, weak_keys(closure, keys))
-    else:
-        block = coarsest_partition(frozen, keys)
-    return block[roots[0]] == block[roots[1]]
+                queue.append(sid)
+        while queue:
+            sid = queue.popleft()
+            for t in pi_tau_successors(states[sid]):
+                tid, fresh = intern(t)
+                succ[sid].add(tid)
+                if fresh:
+                    queue.append(tid)
+        frozen = [frozenset(s) for s in succ]
+        if weak:
+            closure = reachability_closure(frozen)
+            block = coarsest_partition(closure, weak_keys(closure, keys),
+                                       budget=meter)
+        else:
+            block = coarsest_partition(frozen, keys, budget=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(block[roots[0]] == block[roots[1]],
+                      stats=meter.stats())

@@ -14,10 +14,26 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterator
 
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    StateSpaceExceeded,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
 from .actions import OutputAction, TauAction
 from .names import Name
 from .semantics import step_transitions
 from .syntax import Process, purge_node_caches
+
+__all__ = [
+    "StateSpaceExceeded", "barbs", "has_barb", "tau_successors",
+    "step_successors", "step_successors_closed", "weak_barbs",
+    "has_weak_barb", "weak_step_barbs", "reachable_by_steps",
+    "can_reach_barb",
+]
 
 
 def barbs(p: Process) -> frozenset[Name]:
@@ -73,19 +89,28 @@ def step_successors_closed(p: Process) -> tuple[Process, ...]:
     return tuple(out)
 
 
+#: Default budget for the weak-barb closures.
+DEFAULT_CLOSURE_BUDGET = Budget(max_states=10_000)
+
+#: Default budget for :func:`can_reach_barb`.
+DEFAULT_REACH_BUDGET = Budget(max_states=100_000)
+
+
 def _bounded_closure(p: Process,
                      successors: Callable[[Process], tuple[Process, ...]],
-                     max_states: int,
+                     meter: Meter,
                      canonical: Callable[[Process], Process] | None = None,
                      ) -> Iterator[Process]:
-    """BFS over *successors* from *p*, up to *max_states* distinct states.
+    """BFS over *successors* from *p*, governed by *meter*.
 
-    Raises :class:`StateSpaceExceeded` when the bound is hit; states are
+    Charges the meter one unit per distinct state (the start included)
+    and raises :class:`BudgetExceeded` when it trips; states are
     deduplicated via *canonical* (defaults to alpha-canonicalization).
     """
     from .substitution import canonical_alpha
     canon = canonical or canonical_alpha
     start = canon(p)
+    meter.charge()
     seen = {start}
     # Exploration continues from the canonical representative, so quotients
     # that shrink the term (e.g. duplicate-component collapse) actually
@@ -98,62 +123,78 @@ def _bounded_closure(p: Process,
             key = canon(nxt)
             if key in seen:
                 continue
-            if len(seen) >= max_states:
-                raise StateSpaceExceeded(
-                    f"more than {max_states} states reachable")
+            meter.charge()
             seen.add(key)
             queue.append(key)
 
 
-class StateSpaceExceeded(RuntimeError):
-    """Raised when a bounded search exceeds its state budget."""
-
-
-def weak_barbs(p: Process, max_states: int = 10_000) -> frozenset[Name]:
+def weak_barbs(p: Process, *, budget: Budget | Meter | None = None,
+               max_states: int | None = None) -> frozenset[Name]:
     """The weak barbs of *p*: ``{a | p ==> p' and p' |down a}``.
 
-    ``==>`` is the reflexive-transitive closure of ``-tau->``.
+    ``==>`` is the reflexive-transitive closure of ``-tau->``.  Raises
+    :class:`BudgetExceeded` (raw-explorer contract) on budget trip.
     """
+    budget = legacy_cap("weak_barbs", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_CLOSURE_BUDGET)
     out: set[Name] = set()
-    for q in _bounded_closure(p, tau_successors, max_states):
+    for q in _bounded_closure(p, tau_successors, meter):
         out |= barbs(q)
     return frozenset(out)
 
 
-def has_weak_barb(p: Process, chan: Name, max_states: int = 10_000) -> bool:
+def has_weak_barb(p: Process, chan: Name, *,
+                  budget: Budget | Meter | None = None,
+                  max_states: int | None = None) -> bool:
     """``p |Down chan``."""
-    for q in _bounded_closure(p, tau_successors, max_states):
+    budget = legacy_cap("has_weak_barb", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_CLOSURE_BUDGET)
+    for q in _bounded_closure(p, tau_successors, meter):
         if has_barb(q, chan):
             return True
     return False
 
 
-def weak_step_barbs(p: Process, max_states: int = 10_000) -> frozenset[Name]:
+def weak_step_barbs(p: Process, *, budget: Budget | Meter | None = None,
+                    max_states: int | None = None) -> frozenset[Name]:
     """``{a | p (-phi->)* p' and p' |down a}`` — step-weak barbs.
 
     Step-bisimulation (Definition 5) uses this observability predicate: a
     channel counts as observable if the process can broadcast on it after
     some autonomous steps (including other broadcasts, not only taus).
     """
+    budget = legacy_cap("weak_step_barbs", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_CLOSURE_BUDGET)
     out: set[Name] = set()
-    for q in _bounded_closure(p, step_successors, max_states):
+    for q in _bounded_closure(p, step_successors, meter):
         out |= barbs(q)
     return frozenset(out)
 
 
-def reachable_by_steps(p: Process, max_states: int = 10_000) -> Iterator[Process]:
+def reachable_by_steps(p: Process, *, budget: Budget | Meter | None = None,
+                       max_states: int | None = None) -> Iterator[Process]:
     """All processes reachable from *p* by ``-phi->`` steps (bounded BFS)."""
-    return _bounded_closure(p, step_successors, max_states)
+    budget = legacy_cap("reachable_by_steps", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_CLOSURE_BUDGET)
+    return _bounded_closure(p, step_successors, meter)
 
 
-def can_reach_barb(p: Process, chan: Name, max_states: int = 100_000,
-                   collapse_duplicates: bool = False) -> bool:
+def can_reach_barb(p: Process, chan: Name, *,
+                   budget: Budget | Meter | None = None,
+                   collapse_duplicates: bool = False,
+                   max_states: int | None = None) -> Verdict:
     """Reachability query: can *p* autonomously reach a state barbing *chan*?
 
     The workhorse behind the paper's examples — e.g. "does the cycle
     detector eventually signal on ``o``?" is ``can_reach_barb(system, 'o')``.
     Treats the system as closed: extruded names are re-restricted and
     states deduplicated up to structural congruence.
+
+    Returns a three-valued :class:`~repro.engine.Verdict`: ``TRUE`` as
+    soon as a barbing state is found, ``FALSE`` only when the *complete*
+    bounded graph was exhausted without one, and ``UNKNOWN`` when the
+    budget tripped first (the states seen so far ride along as
+    ``verdict.evidence``).
 
     With ``collapse_duplicates`` states are further quotiented by
     idempotence of identical parallel components — a sound
@@ -164,8 +205,15 @@ def can_reach_barb(p: Process, chan: Name, max_states: int = 100_000,
     """
     from .canonical import canonical_state, canonical_state_collapsed
     canon = canonical_state_collapsed if collapse_duplicates else canonical_state
-    for q in _bounded_closure(p, step_successors_closed, max_states,
-                              canonical=canon):
-        if has_barb(q, chan):
-            return True
-    return False
+    budget = legacy_cap("can_reach_barb", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_REACH_BUDGET)
+    explored = 0
+    try:
+        for q in _bounded_closure(p, step_successors_closed, meter,
+                                  canonical=canon):
+            explored += 1
+            if has_barb(q, chan):
+                return Verdict.of(True, stats=meter.stats(), evidence=q)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc, evidence=explored)
+    return Verdict.of(False, stats=meter.stats())

@@ -1,0 +1,201 @@
+"""Three-valued verdicts for bounded checkers.
+
+A bounded search that exhausts its :class:`~repro.engine.budget.Budget`
+has *not* refuted anything — collapsing "cap hit" into ``False`` is the
+soundness hazard this module exists to remove (the shape is borrowed
+from on-the-fly model checkers: mCRL2, CADP).  Every checker therefore
+returns a :class:`Verdict`:
+
+* ``TRUE`` / ``FALSE`` — definite, produced only by a *completed* search;
+* ``UNKNOWN`` — the budget tripped, with a machine-readable ``reason``
+  (``"max-states"``, ``"deadline"``, ``"cancelled"``), the meter's
+  resource-consumption ``stats``, and whatever partial ``evidence`` the
+  search had accumulated (a distinguishing substitution candidate, the
+  LTS built so far, ...).
+
+``Verdict`` stays drop-in for boolean call sites with one deliberate
+exception: converting an ``UNKNOWN`` verdict to ``bool`` raises
+:class:`IndeterminateVerdict` instead of silently picking a side.  Code
+that must branch three ways tests ``.is_true`` / ``.is_false`` /
+``.is_unknown``; ``&``/``|``/``~`` follow Kleene's strong three-valued
+logic for combining verdicts without forcing them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Mapping
+
+from .budget import BudgetExceeded
+
+
+class Truth(enum.Enum):
+    """The three truth values of a bounded check."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def __invert__(self) -> "Truth":
+        if self is Truth.TRUE:
+            return Truth.FALSE
+        if self is Truth.FALSE:
+            return Truth.TRUE
+        return Truth.UNKNOWN
+
+
+class IndeterminateVerdict(BudgetExceeded):
+    """``bool()`` was forced on an UNKNOWN verdict.
+
+    Subclasses :class:`BudgetExceeded` (hence the historical
+    ``StateSpaceExceeded``) on purpose: an UNKNOWN verdict in this
+    codebase only ever arises from a tripped budget, so legacy
+    ``except StateSpaceExceeded`` sites keep treating a truncated search
+    as the exceptional case it always was.
+    """
+
+    def __init__(self, verdict: "Verdict"):
+        super().__init__(verdict.reason or "max-states",
+                         f"cannot coerce {verdict!r} to bool; the search "
+                         f"was truncated ({verdict.reason}) — test "
+                         f".is_true/.is_false/.is_unknown instead",
+                         stats=dict(verdict.stats))
+        self.verdict = verdict
+
+
+class Verdict:
+    """Outcome of one bounded analysis: a truth value plus provenance.
+
+    Immutable.  Equality is three-valued and truth-based: two verdicts
+    compare by their :class:`Truth`; comparing against a plain ``bool``
+    succeeds only for a *definite* verdict of that polarity (``UNKNOWN``
+    equals neither ``True`` nor ``False``).
+    """
+
+    __slots__ = ("truth", "reason", "stats", "evidence")
+
+    def __init__(self, truth: Truth, *, reason: str | None = None,
+                 stats: Mapping[str, Any] | None = None,
+                 evidence: Any = None):
+        if truth is not Truth.UNKNOWN and reason is not None:
+            raise ValueError("only UNKNOWN verdicts carry a reason")
+        object.__setattr__(self, "truth", truth)
+        object.__setattr__(self, "reason", reason)
+        object.__setattr__(self, "stats", dict(stats or {}))
+        object.__setattr__(self, "evidence", evidence)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Verdict is immutable")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def of(cls, flag: bool, *, stats: Mapping[str, Any] | None = None,
+           evidence: Any = None) -> "Verdict":
+        """A definite verdict from a completed search."""
+        return cls(Truth.TRUE if flag else Truth.FALSE, stats=stats,
+                   evidence=evidence)
+
+    @classmethod
+    def unknown(cls, reason: str, *,
+                stats: Mapping[str, Any] | None = None,
+                evidence: Any = None) -> "Verdict":
+        return cls(Truth.UNKNOWN, reason=reason, stats=stats,
+                   evidence=evidence)
+
+    @classmethod
+    def from_exceeded(cls, exc: BudgetExceeded, *,
+                      evidence: Any = None) -> "Verdict":
+        """The UNKNOWN verdict for a caught budget trip.
+
+        This is the *only* path from a tripped budget to a verdict, and
+        it cannot produce TRUE or FALSE — the invariant the
+        budget-monotonicity property test pins down.
+        """
+        if evidence is None:
+            evidence = exc.partial
+        return cls(Truth.UNKNOWN, reason=exc.reason, stats=exc.stats,
+                   evidence=evidence)
+
+    # -- predicates -------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.truth is Truth.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.truth is Truth.FALSE
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.truth is Truth.UNKNOWN
+
+    @property
+    def is_definite(self) -> bool:
+        return self.truth is not Truth.UNKNOWN
+
+    # -- boolean protocol -------------------------------------------------
+    def __bool__(self) -> bool:
+        if self.truth is Truth.UNKNOWN:
+            raise IndeterminateVerdict(self)
+        return self.truth is Truth.TRUE
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, Verdict):
+            return self.truth is other.truth
+        if isinstance(other, Truth):
+            return self.truth is other
+        if isinstance(other, bool):
+            return self.is_definite and (self.truth is Truth.TRUE) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.truth)
+
+    # -- Kleene algebra ---------------------------------------------------
+    def _coerce(self, other: Any) -> "Verdict | None":
+        if isinstance(other, Verdict):
+            return other
+        if isinstance(other, bool):
+            return Verdict.of(other)
+        return None
+
+    def __invert__(self) -> "Verdict":
+        return Verdict(~self.truth, reason=self.reason, stats=self.stats,
+                       evidence=self.evidence)
+
+    def __and__(self, other: Any) -> "Verdict":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if self.is_false:
+            return self
+        if o.is_false:
+            return o
+        if self.is_unknown:
+            return self
+        if o.is_unknown:
+            return o
+        return Verdict(Truth.TRUE, stats=self.stats)
+
+    __rand__ = __and__
+
+    def __or__(self, other: Any) -> "Verdict":
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if self.is_true:
+            return self
+        if o.is_true:
+            return o
+        if self.is_unknown:
+            return self
+        if o.is_unknown:
+            return o
+        return Verdict(Truth.FALSE, stats=self.stats)
+
+    __ror__ = __or__
+
+    def __repr__(self) -> str:
+        if self.is_unknown:
+            return f"<Verdict UNKNOWN reason={self.reason!r}>"
+        return f"<Verdict {self.truth.name}>"

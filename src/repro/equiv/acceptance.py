@@ -25,9 +25,20 @@ from collections import deque
 from ..core.actions import OutputAction, TauAction
 from ..core.canonical import canonical_state
 from ..core.names import Name
-from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.reduction import barbs
 from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
+
+#: Default budget for acceptance-set exploration.
+DEFAULT_BUDGET = Budget(max_states=20_000)
 
 #: A trace is a tuple of output subjects (payloads ignored at this level).
 Trace = tuple[Name, ...]
@@ -38,7 +49,7 @@ def is_stable(p: Process) -> bool:
     return not any(isinstance(a, TauAction) for a, _ in step_transitions(p))
 
 
-def _after(p: Process, trace: Trace, max_states: int) -> set[Process]:
+def _after(p: Process, trace: Trace, meter: Meter) -> set[Process]:
     """All canonical states reachable by exactly *trace* (mod taus)."""
     current: set[Process] = set()
     frontier = deque([(canonical_state(p), 0)])
@@ -48,9 +59,7 @@ def _after(p: Process, trace: Trace, max_states: int) -> set[Process]:
         state, idx = frontier.popleft()
         if (state, idx) in seen:
             continue
-        if len(seen) >= max_states:
-            raise StateSpaceExceeded(
-                f"acceptance exploration exceeds {max_states} states")
+        meter.charge()
         seen.add((state, idx))
         if idx == len(trace):
             results.add(state)
@@ -68,16 +77,31 @@ def _after(p: Process, trace: Trace, max_states: int) -> set[Process]:
     return results
 
 
-def acceptance_sets(p: Process, trace: Trace = (),
-                    max_states: int = 20_000) -> frozenset[frozenset[Name]]:
-    """The barb-sets of the stable states reachable after *trace*."""
-    return frozenset(barbs(s) for s in _after(p, trace, max_states)
+def acceptance_sets(p: Process, trace: Trace = (), *,
+                    budget: Budget | Meter | None = None,
+                    max_states: int | None = None,
+                    ) -> frozenset[frozenset[Name]]:
+    """The barb-sets of the stable states reachable after *trace*.
+
+    Raw-explorer contract: raises
+    :class:`~repro.engine.budget.BudgetExceeded` on budget trip.
+    """
+    budget = legacy_cap("acceptance_sets", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    return frozenset(barbs(s) for s in _after(p, trace, meter)
                      if is_stable(s))
 
 
-def traces_upto(p: Process, max_depth: int = 4,
-                max_states: int = 20_000) -> frozenset[Trace]:
-    """Output-subject traces of length <= max_depth (prefix-closed)."""
+def traces_upto(p: Process, max_depth: int = 4, *,
+                budget: Budget | Meter | None = None,
+                max_states: int | None = None) -> frozenset[Trace]:
+    """Output-subject traces of length <= max_depth (prefix-closed).
+
+    ``max_depth`` is semantic; a budget trip degrades gracefully to the
+    prefix language found so far.
+    """
+    budget = legacy_cap("traces_upto", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     out: set[Trace] = {()}
     frontier = deque([(canonical_state(p), ())])
     seen = set(frontier)
@@ -85,7 +109,9 @@ def traces_upto(p: Process, max_depth: int = 4,
         state, trace = frontier.popleft()
         if len(trace) >= max_depth:
             continue
-        if len(seen) >= max_states:
+        try:
+            meter.tick()
+        except BudgetExceeded:
             break
         for action, target in step_transitions(state):
             if isinstance(action, OutputAction) and action.binders:
@@ -101,36 +127,58 @@ def traces_upto(p: Process, max_depth: int = 4,
             else:  # pragma: no cover - step_transitions yields no inputs
                 continue
             if item not in seen:
+                try:
+                    meter.charge()
+                except BudgetExceeded:
+                    return frozenset(out)
                 seen.add(item)
                 frontier.append(item)
     return frozenset(out)
 
 
 def accepts_refines(p: Process, q: Process, *, max_depth: int = 3,
-                    max_states: int = 20_000) -> bool:
+                    budget: Budget | Meter | None = None,
+                    max_states: int | None = None) -> Verdict:
     """Smyth refinement of acceptance sets: for every common trace, each
     acceptance set of *q* includes some acceptance set of *p*.
 
     ``q`` refining ``p`` means q is at least as deterministic/ready as p —
     the denotational shadow of ``p <=must q`` for output-only behaviour.
+    All sub-explorations share one meter; UNKNOWN on trip.
     """
-    for trace in sorted(traces_upto(p, max_depth, max_states)):
-        p_acc = acceptance_sets(p, trace, max_states)
-        q_acc = acceptance_sets(q, trace, max_states)
-        if not p_acc:
-            continue
-        for q_ready in q_acc:
-            if not any(p_ready <= q_ready for p_ready in p_acc):
-                return False
-    return True
+    budget = legacy_cap("accepts_refines", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        for trace in sorted(traces_upto(p, max_depth, budget=meter)):
+            p_acc = acceptance_sets(p, trace, budget=meter)
+            q_acc = acceptance_sets(q, trace, budget=meter)
+            if not p_acc:
+                continue
+            for q_ready in q_acc:
+                if not any(p_ready <= q_ready for p_ready in p_acc):
+                    return Verdict.of(False, stats=meter.stats(),
+                                      evidence=trace)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(True, stats=meter.stats())
 
 
-def acceptance_equal(p: Process, q: Process, **kw) -> bool:
+def acceptance_equal(p: Process, q: Process, *, max_depth: int = 3,
+                     budget: Budget | Meter | None = None,
+                     max_states: int | None = None) -> Verdict:
     """Same traces and same acceptance sets after each (bounded)."""
-    depth = kw.get("max_depth", 3)
-    ms = kw.get("max_states", 20_000)
-    tp, tq = traces_upto(p, depth, ms), traces_upto(q, depth, ms)
-    if tp != tq:
-        return False
-    return all(acceptance_sets(p, t, ms) == acceptance_sets(q, t, ms)
-               for t in sorted(tp))
+    budget = legacy_cap("acceptance_equal", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        tp = traces_upto(p, max_depth, budget=meter)
+        tq = traces_upto(q, max_depth, budget=meter)
+        if tp != tq:
+            return Verdict.of(False, stats=meter.stats(),
+                              evidence=tp.symmetric_difference(tq))
+        for t in sorted(tp):
+            if acceptance_sets(p, t, budget=meter) != \
+                    acceptance_sets(q, t, budget=meter):
+                return Verdict.of(False, stats=meter.stats(), evidence=t)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(True, stats=meter.stats())

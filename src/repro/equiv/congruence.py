@@ -19,6 +19,9 @@ from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
+from ..engine.budget import Budget, Meter, legacy_cap, resolve_meter
+from ..engine.verdict import Verdict
+from .labelled import DEFAULT_BUDGET
 from .noisy import noisy_similar
 
 
@@ -63,22 +66,32 @@ def identification_substitutions(names: frozenset[Name],
 
 
 def congruent(p: Process, q: Process, *, weak: bool = False,
-              max_pairs: int = 50_000, max_states: int = 5_000,
-              witness: list | None = None) -> bool:
+              budget: Budget | Meter | None = None,
+              max_pairs: int | None = None, max_states: int | None = None,
+              witness: list | None = None) -> Verdict:
     """Decide ``p ~c q`` (strong) or ``p ~~c q`` (weak).
 
     If *witness* is given, the distinguishing substitution (when any) is
-    appended to it.
+    appended to it.  All per-substitution ``~+`` checks draw from one
+    shared meter; the first ``UNKNOWN`` sub-verdict short-circuits the
+    whole check to ``UNKNOWN`` (a truncated sub-search can never certify
+    the universal quantification).
     """
+    budget = legacy_cap("congruent", budget,
+                        max_pairs=max_pairs, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     names = free_names(p) | free_names(q)
     for sigma in identification_substitutions(names):
-        if not noisy_similar(apply_subst(p, sigma), apply_subst(q, sigma),
-                             weak=weak, max_pairs=max_pairs,
-                             max_states=max_states):
+        sub = noisy_similar(apply_subst(p, sigma), apply_subst(q, sigma),
+                            weak=weak, budget=meter)
+        if sub.is_unknown:
+            return Verdict.unknown(sub.reason or "max-states",
+                                   stats=meter.stats(), evidence=sigma)
+        if sub.is_false:
             if witness is not None:
                 witness.append(sigma)
-            return False
-    return True
+            return Verdict.of(False, stats=meter.stats(), evidence=sigma)
+    return Verdict.of(True, stats=meter.stats())
 
 
 def pairwise_identifications(names: frozenset[Name]) -> Iterator[dict[Name, Name]]:

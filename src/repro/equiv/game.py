@@ -26,9 +26,11 @@ graph, which is precisely "bisimulation up to structural congruence", so
 the solver explores the small up-to relation while certifying membership
 in the full one.
 
-Exploration is breadth-first and bounded by ``max_pairs`` (the analogue
-of the LTS explorers' ``max_states``); the removal phase is linear in the
-number of (node, challenge, candidate) triples.
+Exploration is breadth-first and budget-governed — each explored pair
+charges one unit against the :class:`~repro.engine.budget.Budget`'s
+unified pool (the analogue of the LTS explorers' states); the removal
+phase is linear in the number of (node, challenge, candidate) triples
+and polls only deadline/cancellation.
 """
 
 from __future__ import annotations
@@ -36,7 +38,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Hashable, Iterable
 
-from ..core.reduction import StateSpaceExceeded
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
 
@@ -48,33 +56,52 @@ ChallengeFn = Callable[[Hashable], Iterable[Challenge]]
 
 DEFAULT_MAX_PAIRS = 50_000
 
+#: Default budget for pair-graph exploration; pairs draw from the same
+#: unified pool as LTS states under an ambient :func:`repro.engine.govern`.
+DEFAULT_BUDGET = Budget(max_states=DEFAULT_MAX_PAIRS)
 
-def solve_game(root: Hashable, challenges_of: ChallengeFn,
-               max_pairs: int = DEFAULT_MAX_PAIRS) -> bool:
-    """Return True iff *root* is in the greatest fixpoint of the game."""
+
+def solve_game(root: Hashable, challenges_of: ChallengeFn, *,
+               budget: Budget | Meter | None = None,
+               max_pairs: int | None = None) -> bool:
+    """Return True iff *root* is in the greatest fixpoint of the game.
+
+    Raw-explorer contract: a budget trip (one unit charged per explored
+    pair; deadline/cancellation polled during both phases) raises
+    :class:`~repro.engine.budget.BudgetExceeded` with the pairs explored
+    so far on ``exc.partial``.
+    """
+    budget = legacy_cap("solve_game", budget, max_pairs=max_pairs)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     with _tracing.span("game.solve") as sp:
         # Phase 1: explore the pair graph.
         challenge_table: dict[Hashable, list[Challenge]] = {}
         queue: deque[Hashable] = deque([root])
-        while queue:
-            key = queue.popleft()
-            if key in challenge_table:
-                continue
-            if len(challenge_table) >= max_pairs:
-                raise StateSpaceExceeded(f"game exceeds {max_pairs} pairs")
-            chals = [list(dict.fromkeys(c)) for c in challenges_of(key)]
-            challenge_table[key] = chals
-            if _OBS.enabled:
-                _metrics.inc("game.pairs_explored")
-                _progress.report("game.explore",
-                                 pairs=len(challenge_table),
-                                 frontier=len(queue))
-            for c in chals:
-                for nxt in c:
-                    if nxt not in challenge_table:
-                        queue.append(nxt)
+        try:
+            while queue:
+                key = queue.popleft()
+                if key in challenge_table:
+                    continue
+                meter.charge()
+                chals = [list(dict.fromkeys(c)) for c in challenges_of(key)]
+                challenge_table[key] = chals
+                if _OBS.enabled:
+                    _metrics.inc("game.pairs_explored")
+                    _progress.report("game.explore",
+                                     pairs=len(challenge_table),
+                                     frontier=len(queue))
+                for c in chals:
+                    for nxt in c:
+                        if nxt not in challenge_table:
+                            queue.append(nxt)
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = challenge_table
+            sp.set(budget_tripped=exc.reason)
+            raise
 
         # Phase 2: greatest fixpoint by iterated removal.
+        polling = meter.watching
         alive: set[Hashable] = set(challenge_table)
         # reverse dependencies: candidate -> list of (node, challenge index)
         rdeps: dict[Hashable, list[tuple[Hashable, int]]] = {}
@@ -92,6 +119,8 @@ def solve_game(root: Hashable, challenges_of: ChallengeFn,
             if failed:
                 dead.append(node)
         while dead:
+            if polling:
+                meter.tick()
             node = dead.popleft()
             if node not in alive:
                 continue

@@ -31,7 +31,6 @@ from ..core.canonical import canonical_state
 from ..core.discard import discards
 from ..core.freenames import free_names
 from ..core.names import Name
-from ..core.reduction import StateSpaceExceeded
 from ..core.semantics import (
     freshen_action_binders,
     input_capabilities,
@@ -40,6 +39,14 @@ from ..core.semantics import (
 )
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
 from ..obs import metrics as _metrics, tracing as _tracing
 from ..obs.state import STATE as _OBS
 from .game import DEFAULT_MAX_PAIRS, solve_game
@@ -117,18 +124,17 @@ def _input_moves(p: Process, chan: Name, values: tuple[Name, ...]) -> list[Proce
     return moves
 
 
-def _tau_closure(p: Process, max_states: int) -> tuple[Process, ...]:
-    """All q with p ==> q (bounded)."""
+def _tau_closure(p: Process, meter: Meter) -> tuple[Process, ...]:
+    """All q with p ==> q, each member charged against *meter*'s pool."""
     seen = {canonical_state(p): p}
     stack = [p]
     while stack:
+        meter.tick()
         q = stack.pop()
         for t in _taus(q):
             key = canonical_state(t)
             if key not in seen:
-                if len(seen) >= max_states:
-                    raise StateSpaceExceeded(
-                        f"tau closure exceeds {max_states} states")
+                meter.charge()
                 seen[key] = t
                 stack.append(t)
     return tuple(seen.values())
@@ -153,30 +159,34 @@ def _io_subjects(p: Process, q: Process) -> list[tuple[Name, int]]:
 
 
 class _LabelledGame:
-    """Challenge generator shared by the strong and weak checkers."""
+    """Challenge generator shared by the strong and weak checkers.
 
-    def __init__(self, weak: bool, max_states: int):
+    All tau-closure members computed for weak answers charge the shared
+    *meter* — one unified pool across pair exploration and saturation.
+    """
+
+    def __init__(self, weak: bool, meter: Meter):
         self.weak = weak
-        self.max_states = max_states
+        self.meter = meter
 
     # --- weak answer machinery ------------------------------------------
     def _answer_taus(self, q: Process) -> list[Process]:
         if not self.weak:
             return _taus(q)
-        return list(_tau_closure(q, self.max_states))
+        return list(_tau_closure(q, self.meter))
 
     def _answer_outputs(self, q: Process, reference: OutputAction,
                         avoid: frozenset[Name]) -> list[Process]:
         """All q' answering the output challenge *reference*."""
         answers: list[Process] = []
-        starts = _tau_closure(q, self.max_states) if self.weak else (q,)
+        starts = _tau_closure(q, self.meter) if self.weak else (q,)
         for q1 in starts:
             for action, q2 in _outputs(q1):
                 aligned = _align_output(action, q2, reference)
                 if aligned is None:
                     continue
                 if self.weak:
-                    answers.extend(_tau_closure(aligned, self.max_states))
+                    answers.extend(_tau_closure(aligned, self.meter))
                 else:
                     answers.append(aligned)
         return answers
@@ -187,9 +197,9 @@ class _LabelledGame:
         if not self.weak:
             return _input_moves(q, chan, values)
         answers: list[Process] = []
-        for q1 in _tau_closure(q, self.max_states):
+        for q1 in _tau_closure(q, self.meter):
             for q2 in _input_moves(q1, chan, values):
-                answers.extend(_tau_closure(q2, self.max_states))
+                answers.extend(_tau_closure(q2, self.meter))
         return answers
 
     # --- challenges ------------------------------------------------------
@@ -229,11 +239,25 @@ class _LabelledGame:
         return chals
 
 
+#: Default budget for the labelled checkers: one pool for game pairs and
+#: weak tau-closure members alike.
+DEFAULT_BUDGET = Budget(max_states=DEFAULT_MAX_PAIRS)
+
+
 def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
-                       max_pairs: int = DEFAULT_MAX_PAIRS,
-                       max_states: int = 5_000) -> bool:
-    """Decide strong (``p ~ q``) or weak (``p ~~ q``) labelled bisimilarity."""
-    game = _LabelledGame(weak, max_states)
+                       budget: Budget | Meter | None = None,
+                       max_pairs: int | None = None,
+                       max_states: int | None = None) -> Verdict:
+    """Decide strong (``p ~ q``) or weak (``p ~~ q``) labelled bisimilarity.
+
+    Returns a three-valued :class:`~repro.engine.Verdict`: ``UNKNOWN``
+    (never a definite answer) when the budget trips before the pair game
+    is fully explored.
+    """
+    budget = legacy_cap("labelled_bisimilar", budget,
+                        max_pairs=max_pairs, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    game = _LabelledGame(weak, meter)
     cache: dict[PairKey, list[list[PairKey]]] = {}
 
     def challenges_of(key: PairKey) -> list[list[PairKey]]:
@@ -247,16 +271,20 @@ def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
         return got
 
     with _tracing.span("equiv.labelled", weak=weak) as sp:
-        verdict = solve_game(_pair_key(p, q), challenges_of, max_pairs)
-        sp.set(verdict=verdict)
-    return verdict
+        try:
+            flag = solve_game(_pair_key(p, q), challenges_of, budget=meter)
+        except BudgetExceeded as exc:
+            sp.set(verdict="unknown")
+            return Verdict.from_exceeded(exc)
+        sp.set(verdict=flag)
+    return Verdict.of(flag, stats=meter.stats())
 
 
-def strong_bisimilar(p: Process, q: Process, **kw) -> bool:
+def strong_bisimilar(p: Process, q: Process, **kw) -> Verdict:
     """``p ~ q`` (Definition 8)."""
     return labelled_bisimilar(p, q, weak=False, **kw)
 
 
-def weak_bisimilar(p: Process, q: Process, **kw) -> bool:
+def weak_bisimilar(p: Process, q: Process, **kw) -> Verdict:
     """``p ~~ q`` (Definition 7)."""
     return labelled_bisimilar(p, q, weak=True, **kw)

@@ -30,24 +30,39 @@ from ..core.reduction import can_reach_barb
 from ..core.semantics import step_transitions
 from ..core.actions import OutputAction
 from ..core.syntax import Par, Process
+from ..engine.budget import Budget, Meter, legacy_cap, resolve_meter
+from ..engine.verdict import Verdict
 
 SUCCESS = "succ_omega"
 
+#: Default budget for may-testing experiments.
+DEFAULT_BUDGET = Budget(max_states=20_000)
+
 
 def may_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
-             max_states: int = 20_000) -> bool:
+             budget: Budget | Meter | None = None,
+             max_states: int | None = None) -> Verdict:
     """Can ``p | observer`` ever broadcast on the success channel?"""
-    return can_reach_barb(Par(p, observer), success, max_states=max_states)
+    budget = legacy_cap("may_pass", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    return can_reach_barb(Par(p, observer), success, budget=meter)
 
 
-def output_traces(p: Process, max_depth: int = 6,
-                  max_states: int = 20_000) -> frozenset[tuple[str, ...]]:
+def output_traces(p: Process, max_depth: int = 6, *,
+                  budget: Budget | Meter | None = None,
+                  max_states: int | None = None) -> frozenset[tuple[str, ...]]:
     """The (bounded) output-trace language of *p* over autonomous steps.
 
     Traces record ``chan<objs>`` strings of the broadcasts along phi-runs
     (taus are invisible); the set is prefix-closed by construction.
+    ``max_depth`` is semantic (the language is depth-bounded by
+    definition); the *budget* caps exploration, degrading to the prefix
+    of the language found so far when it trips.
     """
     from ..core.canonical import canonical_state
+    from ..engine.budget import BudgetExceeded
+    budget = legacy_cap("output_traces", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     traces: set[tuple[str, ...]] = {()}
     seen: set[tuple[Process, tuple[str, ...]]] = set()
     stack = [(p, ())]
@@ -58,7 +73,9 @@ def output_traces(p: Process, max_depth: int = 6,
         key = (canonical_state(state), trace)
         if key in seen:
             continue
-        if len(seen) >= max_states:
+        try:
+            meter.charge()
+        except BudgetExceeded:
             break
         seen.add(key)
         for action, target in step_transitions(state):
@@ -117,21 +134,38 @@ def _channel_arities(p: Process, q: Process) -> dict[Name, int]:
 
 def may_preorder_sampled(p: Process, q: Process, *, success: Name = SUCCESS,
                          observers: list[Process] | None = None,
-                         max_states: int = 20_000,
-                         witness: list | None = None) -> bool:
+                         budget: Budget | Meter | None = None,
+                         max_states: int | None = None,
+                         witness: list | None = None) -> Verdict:
     """``p <=may q`` over the sampled observer family: every experiment p
-    may pass, q may pass too.  Refutation-sound."""
+    may pass, q may pass too.  Refutation-sound; any UNKNOWN experiment
+    makes the whole preorder UNKNOWN (the observer rides as evidence)."""
+    budget = legacy_cap("may_preorder_sampled", budget,
+                        max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     obs = observers if observers is not None else observer_family(p, q,
                                                                   success=success)
     for o in obs:
-        if may_pass(p, o, success=success, max_states=max_states) and \
-                not may_pass(q, o, success=success, max_states=max_states):
+        vp = may_pass(p, o, success=success, budget=meter)
+        if vp.is_unknown:
+            return Verdict.unknown(vp.reason or "max-states",
+                                   stats=meter.stats(), evidence=o)
+        if vp.is_false:
+            continue
+        vq = may_pass(q, o, success=success, budget=meter)
+        if vq.is_unknown:
+            return Verdict.unknown(vq.reason or "max-states",
+                                   stats=meter.stats(), evidence=o)
+        if vq.is_false:
             if witness is not None:
                 witness.append(o)
-            return False
-    return True
+            return Verdict.of(False, stats=meter.stats(), evidence=o)
+    return Verdict.of(True, stats=meter.stats())
 
 
-def may_equivalent_sampled(p: Process, q: Process, **kw) -> bool:
-    """Sampled may-testing equivalence."""
-    return may_preorder_sampled(p, q, **kw) and may_preorder_sampled(q, p, **kw)
+def may_equivalent_sampled(p: Process, q: Process, **kw) -> Verdict:
+    """Sampled may-testing equivalence (Kleene conjunction)."""
+    forward = may_preorder_sampled(p, q, **kw)
+    if forward.is_false:
+        return forward
+    return forward & may_preorder_sampled(q, p, **kw)

@@ -18,19 +18,44 @@ from __future__ import annotations
 
 from ..core.canonical import canonical_state_collapsed
 from ..core.names import Name
-from ..core.reduction import StateSpaceExceeded, barbs, step_successors_closed
+from ..core.reduction import barbs, step_successors_closed
 from ..core.syntax import Par, Process
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
 from .maytesting import SUCCESS, observer_family
+
+#: Default budget for must-testing experiments.
+DEFAULT_BUDGET = Budget(max_states=20_000)
 
 
 def must_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
-              max_states: int = 20_000) -> bool:
+              budget: Budget | Meter | None = None,
+              max_states: int | None = None) -> Verdict:
     """Does every maximal run of ``p | observer`` reach a *success* state?
 
-    Raises :class:`StateSpaceExceeded` when the (collapsed) graph exceeds
-    the budget — must-verdicts cannot be truncated soundly.
+    Must-verdicts cannot be truncated soundly in either direction, so a
+    budget trip yields ``UNKNOWN`` — a FALSE needs a witnessed failing
+    run, a TRUE needs the whole graph.
     """
+    budget = legacy_cap("must_pass", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        flag = _must_pass(p, observer, success, meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag, stats=meter.stats())
+
+
+def _must_pass(p: Process, observer: Process, success: Name,
+               meter: Meter) -> bool:
     start = canonical_state_collapsed(Par(p, observer))
+    meter.charge()
     if success in barbs(start):
         return True
     # DFS over the non-success subgraph; any cycle or dead end = failure.
@@ -49,6 +74,7 @@ def must_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
         return False  # quiescent, never succeeded
     stack.append((start, succs, 0))
     while stack:
+        meter.tick()
         state, succs, idx = stack.pop()
         if idx >= len(succs):
             colour[state] = BLACK
@@ -62,9 +88,7 @@ def must_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
             return False  # divergence avoiding success
         if c == BLACK:
             continue
-        if len(colour) >= max_states:
-            raise StateSpaceExceeded(
-                f"must-testing graph exceeds {max_states} states")
+        meter.charge()
         colour[nxt] = GREY
         nxt_succs = expand(nxt)
         if not nxt_succs:
@@ -75,20 +99,41 @@ def must_pass(p: Process, observer: Process, *, success: Name = SUCCESS,
 
 def must_preorder_sampled(p: Process, q: Process, *, success: Name = SUCCESS,
                           observers: list[Process] | None = None,
-                          max_states: int = 20_000,
-                          witness: list | None = None) -> bool:
-    """``p <=must q`` over the sampled observer family."""
+                          budget: Budget | Meter | None = None,
+                          max_states: int | None = None,
+                          witness: list | None = None) -> Verdict:
+    """``p <=must q`` over the sampled observer family.
+
+    Any UNKNOWN experiment makes the sampled preorder UNKNOWN (the
+    experiment's observer rides along as evidence); all experiments draw
+    from one shared meter.
+    """
+    budget = legacy_cap("must_preorder_sampled", budget,
+                        max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     obs = observers if observers is not None else observer_family(
         p, q, success=success)
     for o in obs:
-        if must_pass(p, o, success=success, max_states=max_states) and \
-                not must_pass(q, o, success=success, max_states=max_states):
+        vp = must_pass(p, o, success=success, budget=meter)
+        if vp.is_unknown:
+            return Verdict.unknown(vp.reason or "max-states",
+                                   stats=meter.stats(), evidence=o)
+        if vp.is_false:
+            continue
+        vq = must_pass(q, o, success=success, budget=meter)
+        if vq.is_unknown:
+            return Verdict.unknown(vq.reason or "max-states",
+                                   stats=meter.stats(), evidence=o)
+        if vq.is_false:
             if witness is not None:
                 witness.append(o)
-            return False
-    return True
+            return Verdict.of(False, stats=meter.stats(), evidence=o)
+    return Verdict.of(True, stats=meter.stats())
 
 
-def must_equivalent_sampled(p: Process, q: Process, **kw) -> bool:
-    """Sampled must-testing equivalence."""
-    return must_preorder_sampled(p, q, **kw) and must_preorder_sampled(q, p, **kw)
+def must_equivalent_sampled(p: Process, q: Process, **kw) -> Verdict:
+    """Sampled must-testing equivalence (Kleene conjunction)."""
+    forward = must_preorder_sampled(p, q, **kw)
+    if forward.is_false:
+        return forward
+    return forward & must_preorder_sampled(q, p, **kw)

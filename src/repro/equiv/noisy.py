@@ -33,7 +33,10 @@ from ..core.discard import discards, listening_channels
 from ..core.freenames import free_names
 from ..core.semantics import input_continuations
 from ..core.syntax import Process
+from ..engine.budget import Budget, BudgetExceeded, Meter, legacy_cap, resolve_meter
+from ..engine.verdict import Verdict
 from .labelled import (
+    DEFAULT_BUDGET,
     _canonicalize_output,
     _io_subjects,
     _LabelledGame,
@@ -46,22 +49,42 @@ from .labelled import (
 
 
 def noisy_similar(p: Process, q: Process, *, weak: bool = False,
-                  max_pairs: int = 50_000, max_states: int = 5_000) -> bool:
-    """Decide ``p ~+ q`` (or the weak ``p ~~+ q``)."""
-    game = _LabelledGame(weak, max_states)
+                  budget: Budget | Meter | None = None,
+                  max_pairs: int | None = None,
+                  max_states: int | None = None) -> Verdict:
+    """Decide ``p ~+ q`` (or the weak ``p ~~+ q``).
+
+    All the per-successor ``~`` sub-checks draw from one shared meter, so
+    the whole noisy check is governed by a single budget; a trip anywhere
+    yields ``UNKNOWN``.
+    """
+    budget = legacy_cap("noisy_similar", budget,
+                        max_pairs=max_pairs, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        flag = _noisy_similar(p, q, weak=weak, meter=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag, stats=meter.stats())
+
+
+def _noisy_similar(p: Process, q: Process, *, weak: bool,
+                   meter: Meter) -> bool:
+    game = _LabelledGame(weak, meter)
 
     def related(a: Process, b: Process) -> bool:
-        return labelled_bisimilar(a, b, weak=weak, max_pairs=max_pairs,
-                                  max_states=max_states)
+        # bool() on an UNKNOWN sub-verdict raises IndeterminateVerdict (a
+        # BudgetExceeded), unwinding the whole check to UNKNOWN.
+        return bool(labelled_bisimilar(a, b, weak=weak, budget=meter))
 
     def answer_inputs_strict(y: Process, chan, values) -> list[Process]:
         """Genuine-input answers only (strict clause 3)."""
         if not weak:
             return list(input_continuations(y, chan, values))
         answers: list[Process] = []
-        for y1 in _tau_closure(y, max_states):
+        for y1 in _tau_closure(y, meter):
             for y2 in input_continuations(y1, chan, values):
-                answers.extend(_tau_closure(y2, max_states))
+                answers.extend(_tau_closure(y2, meter))
         return answers
 
     for x, y, flip in ((p, q, False), (q, p, True)):
@@ -75,9 +98,9 @@ def noisy_similar(p: Process, q: Process, *, weak: bool = False,
         # hold and choice contexts would break the congruence (Theorem 4).
         if weak:
             y_taus = [q2
-                      for q1 in _tau_closure(y, max_states)
+                      for q1 in _tau_closure(y, meter)
                       for t in _taus(q1)
-                      for q2 in _tau_closure(t, max_states)]
+                      for q2 in _tau_closure(t, meter)]
         else:
             y_taus = _taus(y)
         for x1 in _taus(x):
@@ -104,6 +127,6 @@ def noisy_similar(p: Process, q: Process, *, weak: bool = False,
             for chan in sorted(listening_channels(y) - listening_channels(x)):
                 if discards(x, chan) and not any(
                         discards(y1, chan)
-                        for y1 in _tau_closure(y, max_states)):
+                        for y1 in _tau_closure(y, meter)):
                     return False
     return True

@@ -24,11 +24,21 @@ from itertools import count
 from ..core.actions import OutputAction, TauAction
 from ..core.canonical import canonical_state
 from ..core.freenames import free_names
-from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.reduction import barbs
 from ..core.semantics import freshen_action_binders, step_transitions
 from ..core.syntax import Process
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
 
 DEFAULT_MAX_STATES = 20_000
+
+#: Default budget for pairwise reduction-graph exploration.
+DEFAULT_BUDGET = Budget(max_states=DEFAULT_MAX_STATES)
 
 #: Reserved prefix for canonically renamed extruded names.
 EXTRUSION_PREFIX = "_e"
@@ -80,39 +90,52 @@ class ReductionGraph:
 
 
 def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
-                          max_states: int = DEFAULT_MAX_STATES,
+                          budget: Budget | Meter | None = None,
+                          max_states: int | None = None,
                           ) -> tuple[ReductionGraph, tuple[int, ...]]:
     """Explore the tau-graph (``steps=False``) or phi-graph (``steps=True``)
-    from all *roots* into one shared :class:`ReductionGraph`."""
+    from all *roots* into one shared :class:`ReductionGraph`.
+
+    Raw-explorer contract: a budget trip raises
+    :class:`~repro.engine.budget.BudgetExceeded` with the partial
+    ``(graph, root_ids)`` attached to ``exc.partial``.
+    """
+    budget = legacy_cap("build_reduction_graph", budget,
+                        max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     graph = ReductionGraph()
     queue: deque[int] = deque()
-    root_ids = []
-    for r in roots:
-        sid, fresh = graph.intern(r)
-        root_ids.append(sid)
-        if fresh:
-            queue.append(sid)
-    while queue:
-        sid = queue.popleft()
-        state = graph.states[sid]
-        for action, target in step_transitions(state):
-            if isinstance(action, TauAction):
-                pass  # always followed
-            elif not steps:
-                continue  # barbed graph: tau only
-            else:
-                assert isinstance(action, OutputAction)
-                if action.binders:
-                    action, target = freshen_action_binders(
-                        action, target, free_names(state))
-                    target = canonical_extrusion(
-                        action, target, free_names(state))
-            if len(graph.states) >= max_states and \
-                    canonical_state(target) not in graph.index:
-                raise StateSpaceExceeded(
-                    f"reduction graph exceeds {max_states} states")
-            tid, fresh = graph.intern(target)
-            graph.successors[sid].add(tid)
+    root_ids: list[int] = []
+    try:
+        for r in roots:
+            sid, fresh = graph.intern(r)
+            root_ids.append(sid)
             if fresh:
-                queue.append(tid)
+                meter.charge()
+                queue.append(sid)
+        while queue:
+            sid = queue.popleft()
+            state = graph.states[sid]
+            for action, target in step_transitions(state):
+                if isinstance(action, TauAction):
+                    pass  # always followed
+                elif not steps:
+                    continue  # barbed graph: tau only
+                else:
+                    assert isinstance(action, OutputAction)
+                    if action.binders:
+                        action, target = freshen_action_binders(
+                            action, target, free_names(state))
+                        target = canonical_extrusion(
+                            action, target, free_names(state))
+                tid, fresh = graph.intern(target)
+                if fresh:
+                    meter.charge()
+                graph.successors[sid].add(tid)
+                if fresh:
+                    queue.append(tid)
+    except BudgetExceeded as exc:
+        if exc.partial is None:
+            exc.partial = (graph, tuple(root_ids))
+        raise
     return graph, tuple(root_ids)

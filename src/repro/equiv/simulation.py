@@ -14,8 +14,16 @@ checker, with only the left-to-right challenge family.
 from __future__ import annotations
 
 from ..core.syntax import Process
-from .game import DEFAULT_MAX_PAIRS, solve_game
-from .labelled import _LabelledGame, _pair_key
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
+from .game import solve_game
+from .labelled import DEFAULT_BUDGET, _LabelledGame, _pair_key
 
 
 class _SimulationGame(_LabelledGame):
@@ -27,10 +35,14 @@ class _SimulationGame(_LabelledGame):
 
 
 def simulates(q: Process, p: Process, *, weak: bool = False,
-              max_pairs: int = DEFAULT_MAX_PAIRS,
-              max_states: int = 5_000) -> bool:
-    """True iff *q* simulates *p* (``p <= q``)."""
-    game = _SimulationGame(weak, max_states)
+              budget: Budget | Meter | None = None,
+              max_pairs: int | None = None,
+              max_states: int | None = None) -> Verdict:
+    """Does *q* simulate *p* (``p <= q``)?"""
+    budget = legacy_cap("simulates", budget,
+                        max_pairs=max_pairs, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    game = _SimulationGame(weak, meter)
     cache: dict = {}
 
     def challenges_of(key):
@@ -39,9 +51,27 @@ def simulates(q: Process, p: Process, *, weak: bool = False,
             got = cache[key] = game.challenges(key)
         return got
 
-    return solve_game(_pair_key(p, q), challenges_of, max_pairs)
+    try:
+        flag = solve_game(_pair_key(p, q), challenges_of, budget=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag, stats=meter.stats())
 
 
-def similar(p: Process, q: Process, **kw) -> bool:
-    """Mutual simulation (coarser than bisimilarity)."""
-    return simulates(q, p, **kw) and simulates(p, q, **kw)
+def similar(p: Process, q: Process, *,
+            budget: Budget | Meter | None = None,
+            max_pairs: int | None = None,
+            max_states: int | None = None, **kw) -> Verdict:
+    """Mutual simulation (coarser than bisimilarity).
+
+    Kleene conjunction of the two directions, drawn from one shared
+    meter; a FALSE direction refutes regardless of the other going
+    UNKNOWN.
+    """
+    budget = legacy_cap("similar", budget,
+                        max_pairs=max_pairs, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    forward = simulates(q, p, budget=meter, **kw)
+    if forward.is_false:
+        return forward
+    return forward & simulates(p, q, budget=meter, **kw)

@@ -16,34 +16,59 @@ Decided by partition refinement over the shared phi-graph (see
 from __future__ import annotations
 
 from ..core.syntax import Process
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
 from ..lts.partition import coarsest_partition
 from ..lts.weak import reachability_closure, weak_keys
-from .reduction_graph import DEFAULT_MAX_STATES, build_reduction_graph
+from .reduction_graph import DEFAULT_BUDGET, build_reduction_graph
 
 
-def strong_step_bisimilar(p: Process, q: Process,
-                          max_states: int = DEFAULT_MAX_STATES) -> bool:
+def strong_step_bisimilar(p: Process, q: Process, *,
+                          budget: Budget | Meter | None = None,
+                          max_states: int | None = None) -> Verdict:
     """Decide ``p ~phi q`` (strong step-bisimilarity)."""
-    graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
-                                            max_states=max_states)
-    block = coarsest_partition(graph.frozen_successors(), graph.state_barbs)
-    return block[rp] == block[rq]
+    budget = legacy_cap("strong_step_bisimilar", budget,
+                        max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
+                                                budget=meter)
+        block = coarsest_partition(graph.frozen_successors(),
+                                   graph.state_barbs, budget=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(block[rp] == block[rq], stats=meter.stats())
 
 
-def weak_step_bisimilar(p: Process, q: Process,
-                        max_states: int = DEFAULT_MAX_STATES) -> bool:
+def weak_step_bisimilar(p: Process, q: Process, *,
+                        budget: Budget | Meter | None = None,
+                        max_states: int | None = None) -> Verdict:
     """Decide ``p ~~phi q`` (weak step-bisimilarity)."""
-    graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
-                                            max_states=max_states)
-    closure = reachability_closure(graph.frozen_successors())
-    keys = weak_keys(closure, graph.state_barbs)
-    block = coarsest_partition(closure, keys)
-    return block[rp] == block[rq]
+    budget = legacy_cap("weak_step_bisimilar", budget,
+                        max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
+                                                budget=meter)
+        closure = reachability_closure(graph.frozen_successors())
+        keys = weak_keys(closure, graph.state_barbs)
+        block = coarsest_partition(closure, keys, budget=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(block[rp] == block[rq], stats=meter.stats())
 
 
 def step_bisimilar(p: Process, q: Process, *, weak: bool = False,
-                   max_states: int = DEFAULT_MAX_STATES) -> bool:
+                   budget: Budget | Meter | None = None,
+                   max_states: int | None = None) -> Verdict:
     """Dispatch on *weak*."""
+    budget = legacy_cap("step_bisimilar", budget, max_states=max_states)
     if weak:
-        return weak_step_bisimilar(p, q, max_states)
-    return strong_step_bisimilar(p, q, max_states)
+        return weak_step_bisimilar(p, q, budget=budget)
+    return strong_step_bisimilar(p, q, budget=budget)

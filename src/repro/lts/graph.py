@@ -25,17 +25,28 @@ from ..core.actions import Action, InputAction, OutputAction, TauAction
 from ..core.canonical import canonical_state
 from ..core.freenames import free_names
 from ..core.names import NameUniverse
-from ..core.reduction import StateSpaceExceeded, barbs
+from ..core.reduction import barbs
 from ..core.semantics import (
     input_capabilities,
     input_continuations,
     step_transitions,
 )
 from ..core.syntax import Process, Restrict
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
 
 DEFAULT_MAX_STATES = 20_000
+
+#: Default budget for LTS exploration (raw-explorer layer: a trip raises
+#: :class:`BudgetExceeded` with the partial ``(lts, root)`` attached).
+DEFAULT_BUDGET = Budget(max_states=DEFAULT_MAX_STATES)
 
 
 @dataclass
@@ -104,37 +115,52 @@ def _close_binders(action: Action, target: Process) -> Process:
     return target
 
 
-def build_step_lts(p: Process,
-                   max_states: int = DEFAULT_MAX_STATES,
-                   close_binders: bool = True) -> tuple[LTS, int]:
-    """Explore the ``-phi->`` graph from *p*; returns (lts, initial id)."""
+def build_step_lts(p: Process, *,
+                   budget: Budget | Meter | None = None,
+                   close_binders: bool = True,
+                   max_states: int | None = None) -> tuple[LTS, int]:
+    """Explore the ``-phi->`` graph from *p*; returns (lts, initial id).
+
+    Raw-explorer contract: when the budget trips this raises
+    :class:`BudgetExceeded` with the partially built ``(lts, root)`` on
+    ``exc.partial`` — the verdict layer (:func:`repro.api.explore`)
+    degrades that into a truncated-but-usable result.
+    """
+    budget = legacy_cap("build_step_lts", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     with _tracing.span("lts.build_step") as sp:
         lts = LTS()
         root = lts.add_state(canonical_state(p))
+        meter.charge()
         queue = deque([root])
         expanded: set[int] = set()
-        while queue:
-            sid = queue.popleft()
-            if sid in expanded:
-                continue
-            expanded.add(sid)
-            if _OBS.enabled:
-                _metrics.inc("lts.states_expanded")
-                _progress.report("lts.build_step", states=lts.n_states,
-                                 edges=lts.n_edges, frontier=len(queue))
-            state = lts.states[sid]
-            for action, target in step_transitions(state):
-                if close_binders:
-                    target = _close_binders(action, target)
-                tgt = canonical_state(target)
-                known = tgt in lts.index
-                if not known and lts.n_states >= max_states:
-                    raise StateSpaceExceeded(
-                        f"step LTS exceeds {max_states} states")
-                tid = lts.add_state(tgt)
-                lts.add_edge(sid, action, tid)
-                if not known:
-                    queue.append(tid)
+        try:
+            while queue:
+                sid = queue.popleft()
+                if sid in expanded:
+                    continue
+                expanded.add(sid)
+                if _OBS.enabled:
+                    _metrics.inc("lts.states_expanded")
+                    _progress.report("lts.build_step", states=lts.n_states,
+                                     edges=lts.n_edges, frontier=len(queue))
+                state = lts.states[sid]
+                for action, target in step_transitions(state):
+                    if close_binders:
+                        target = _close_binders(action, target)
+                    tgt = canonical_state(target)
+                    known = tgt in lts.index
+                    if not known:
+                        meter.charge()
+                    tid = lts.add_state(tgt)
+                    lts.add_edge(sid, action, tid)
+                    if not known:
+                        queue.append(tid)
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = (lts, root)
+            sp.set(budget_tripped=exc.reason)
+            raise
         if _OBS.enabled:
             _metrics.inc("lts.edges_added", lts.n_edges)
         sp.set(n_states=lts.n_states, n_edges=lts.n_edges)
@@ -157,54 +183,65 @@ def canonical_output_label(action: OutputAction) -> OutputAction:
                         tuple(placeholders[b] for b in action.binders))
 
 
-def build_full_lts(p: Process, universe: NameUniverse | None = None,
-                   max_states: int = DEFAULT_MAX_STATES,
-                   n_fresh: int = 1) -> tuple[LTS, int]:
+def build_full_lts(p: Process, universe: NameUniverse | None = None, *,
+                   budget: Budget | Meter | None = None,
+                   n_fresh: int = 1,
+                   max_states: int | None = None) -> tuple[LTS, int]:
     """Explore outputs, taus *and* universe-instantiated inputs from *p*.
 
     Bound-output labels are canonicalized via
     :func:`canonical_output_label` and their targets re-bound, keeping the
-    graph finite and labels comparable.
+    graph finite and labels comparable.  Raw-explorer contract: a budget
+    trip raises :class:`BudgetExceeded` with the partial ``(lts, root)``
+    attached to ``exc.partial``.
     """
+    budget = legacy_cap("build_full_lts", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     if universe is None:
         universe = NameUniverse(free_names(p), n_fresh)
     with _tracing.span("lts.build_full") as sp:
         lts = LTS()
         root = lts.add_state(canonical_state(p))
+        meter.charge()
         queue = deque([root])
         expanded: set[int] = set()
 
         def intern(target: Process, sid_from: int, action: Action) -> None:
             tgt = canonical_state(target)
             known = tgt in lts.index
-            if not known and lts.n_states >= max_states:
-                raise StateSpaceExceeded(
-                    f"full LTS exceeds {max_states} states")
+            if not known:
+                meter.charge()
             tid = lts.add_state(tgt)
             lts.add_edge(sid_from, action, tid)
             if not known:
                 queue.append(tid)
 
-        while queue:
-            sid = queue.popleft()
-            if sid in expanded:
-                continue
-            expanded.add(sid)
-            if _OBS.enabled:
-                _metrics.inc("lts.states_expanded")
-                _progress.report("lts.build_full", states=lts.n_states,
-                                 edges=lts.n_edges, frontier=len(queue))
-            state = lts.states[sid]
-            for action, target in step_transitions(state):
-                if isinstance(action, OutputAction) and action.binders:
-                    intern(_close_binders(action, target), sid,
-                           canonical_output_label(action))
-                else:
-                    intern(target, sid, action)
-            for chan, arity in sorted(input_capabilities(state)):
-                for values in universe.vectors(arity):
-                    for target in input_continuations(state, chan, values):
-                        intern(target, sid, InputAction(chan, values))
+        try:
+            while queue:
+                sid = queue.popleft()
+                if sid in expanded:
+                    continue
+                expanded.add(sid)
+                if _OBS.enabled:
+                    _metrics.inc("lts.states_expanded")
+                    _progress.report("lts.build_full", states=lts.n_states,
+                                     edges=lts.n_edges, frontier=len(queue))
+                state = lts.states[sid]
+                for action, target in step_transitions(state):
+                    if isinstance(action, OutputAction) and action.binders:
+                        intern(_close_binders(action, target), sid,
+                               canonical_output_label(action))
+                    else:
+                        intern(target, sid, action)
+                for chan, arity in sorted(input_capabilities(state)):
+                    for values in universe.vectors(arity):
+                        for target in input_continuations(state, chan, values):
+                            intern(target, sid, InputAction(chan, values))
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = (lts, root)
+            sp.set(budget_tripped=exc.reason)
+            raise
         if _OBS.enabled:
             _metrics.inc("lts.edges_added", lts.n_edges)
         sp.set(n_states=lts.n_states, n_edges=lts.n_edges)

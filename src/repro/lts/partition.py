@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Sequence
 
+from ..engine.budget import Budget, Meter, resolve_meter
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
 
@@ -44,7 +45,8 @@ def _refine(block: list[int],
             n_blocks: int,
             preds: Sequence[Sequence[int]],
             signature: Callable[[int], Hashable],
-            watch: tuple[int, int] | None = None) -> list[int] | None:
+            watch: tuple[int, int] | None = None,
+            meter: Meter | None = None) -> list[int] | None:
     """Refine *block* (modified in place) to stability under *signature*.
 
     ``signature(s)`` must read the current ``block`` assignment.  Signatures
@@ -52,8 +54,15 @@ def _refine(block: list[int],
     that changed block — the worklist.  With *watch* set, returns ``None``
     as soon as the watched pair lands in different blocks (early exit for
     :func:`partition_relates`); otherwise returns the stable assignment.
+
+    With *meter* set, the worklist polls the meter's deadline/cancellation
+    between signature recomputations (refinement interns nothing, so the
+    state cap does not apply here) and raises
+    :class:`~repro.engine.budget.BudgetExceeded` mid-fixpoint.
     """
     n = len(block)
+    if meter is not None:
+        meter.check()
     sig: list[Hashable] = [signature(s) for s in range(n)]
     members: list[set[int]] = [set() for _ in range(n_blocks)]
     for i, b in enumerate(block):
@@ -68,6 +77,8 @@ def _refine(block: list[int],
             _progress.report("partition.refine", blocks=len(members),
                              affected=len(affected), dirty=len(dirty))
         for s in dirty:
+            if meter is not None:
+                meter.tick()
             new_sig = signature(s)
             if new_sig != sig[s]:
                 sig[s] = new_sig
@@ -75,6 +86,8 @@ def _refine(block: list[int],
         dirty = set()
         moved: list[int] = []
         for b in sorted(affected):
+            if meter is not None:
+                meter.tick()
             group = members[b]
             if len(group) <= 1:
                 continue
@@ -102,14 +115,28 @@ def _refine(block: list[int],
     return block
 
 
+def _refine_meter(budget: Budget | Meter | None) -> Meter | None:
+    """The meter `_refine` should poll, or None when nothing is watched.
+
+    Refinement interns no states, so only deadline/cancellation (or an
+    already-tripped shared meter) are relevant; ungoverned runs pay zero
+    metering overhead.
+    """
+    meter = resolve_meter(budget)
+    return meter if meter.watching else None
+
+
 def coarsest_partition(successors: Sequence[frozenset[int]],
-                       initial_keys: Sequence[Hashable]) -> list[int]:
+                       initial_keys: Sequence[Hashable], *,
+                       budget: Budget | Meter | None = None) -> list[int]:
     """Compute the coarsest partition refining *initial_keys* and stable
     under the successor relation.
 
     ``successors[i]`` is the set of states reachable from state *i* in one
     (possibly saturated) reduction.  Returns a block id per state; two
-    states are bisimilar iff they get the same block id.
+    states are bisimilar iff they get the same block id.  A tripped
+    *budget* raises :class:`~repro.engine.budget.BudgetExceeded`
+    mid-fixpoint (raw-explorer contract).
     """
     n = len(successors)
     if len(initial_keys) != n:
@@ -121,7 +148,7 @@ def coarsest_partition(successors: Sequence[frozenset[int]],
             return frozenset(block[t] for t in successors[s])
 
         result = _refine(block, n_blocks, _predecessors(successors, n),
-                         signature)
+                         signature, meter=_refine_meter(budget))
         assert result is not None
         sp.set(n_blocks=len(set(result)))
     return result
@@ -129,7 +156,8 @@ def coarsest_partition(successors: Sequence[frozenset[int]],
 
 def coarsest_partition_labelled(
         per_label: Sequence[Sequence[frozenset[int]]],
-        initial_keys: Sequence[Hashable]) -> list[int]:
+        initial_keys: Sequence[Hashable], *,
+        budget: Budget | Meter | None = None) -> list[int]:
     """Coarsest partition stable under a *labelled* successor relation.
 
     ``per_label[l][i]`` is the set of states reachable from state *i* by an
@@ -151,7 +179,7 @@ def coarsest_partition_labelled(
                          for succ in per_label)
 
         result = _refine(block, n_blocks, _predecessors(combined, n),
-                         signature)
+                         signature, meter=_refine_meter(budget))
         assert result is not None
         sp.set(n_blocks=len(set(result)))
     return result
@@ -159,7 +187,8 @@ def coarsest_partition_labelled(
 
 def partition_relates(successors: Sequence[frozenset[int]],
                       initial_keys: Sequence[Hashable],
-                      a: int, b: int) -> bool:
+                      a: int, b: int, *,
+                      budget: Budget | Meter | None = None) -> bool:
     """Are states *a* and *b* in the same final block?
 
     Exits as soon as refinement separates *a* from *b* instead of running
@@ -179,7 +208,7 @@ def partition_relates(successors: Sequence[frozenset[int]],
             return frozenset(block[t] for t in successors[s])
 
         result = _refine(block, n_blocks, _predecessors(successors, n),
-                         signature, watch=(a, b))
+                         signature, watch=(a, b), meter=_refine_meter(budget))
         if result is None:
             sp.set(verdict=False, early_exit=True)
             return False

@@ -40,11 +40,21 @@ from typing import Callable, Iterator
 
 from ..core.actions import TauAction
 from ..core.canonical import canonical_state, canonical_state_collapsed
-from ..core.reduction import StateSpaceExceeded
 from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
+from ..engine.budget import (
+    Budget,
+    BudgetExceeded,
+    Meter,
+    legacy_cap,
+    resolve_meter,
+)
+from ..engine.verdict import Verdict
 
 Predicate = Callable[[Process], bool]
+
+#: Default budget for whole-graph analyses.
+DEFAULT_BUDGET = Budget(max_states=50_000)
 
 
 def _canon(collapse: bool):
@@ -60,26 +70,38 @@ def _closed_successors(state: Process) -> Iterator[tuple[bool, Process]]:
         yield isinstance(action, TauAction), target
 
 
-def reachable_states(p: Process, *, max_states: int = 50_000,
-                     collapse: bool = True) -> list[Process]:
-    """All reachable canonical states (BFS, bounded)."""
+def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
+                     collapse: bool = True,
+                     max_states: int | None = None) -> list[Process]:
+    """All reachable canonical states (BFS, budget-governed).
+
+    Raw-explorer contract: a budget trip raises
+    :class:`~repro.engine.budget.BudgetExceeded` with the states found so
+    far on ``exc.partial``.
+    """
+    budget = legacy_cap("reachable_states", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
     start = canon(p)
+    meter.charge()
     seen = {start}
     queue = deque([start])
     order = [start]
-    while queue:
-        state = queue.popleft()
-        for _, target in _closed_successors(state):
-            key = canon(target)
-            if key in seen:
-                continue
-            if len(seen) >= max_states:
-                raise StateSpaceExceeded(
-                    f"reachable set exceeds {max_states} states")
-            seen.add(key)
-            order.append(key)
-            queue.append(key)
+    try:
+        while queue:
+            state = queue.popleft()
+            for _, target in _closed_successors(state):
+                key = canon(target)
+                if key in seen:
+                    continue
+                meter.charge()
+                seen.add(key)
+                order.append(key)
+                queue.append(key)
+    except BudgetExceeded as exc:
+        if exc.partial is None:
+            exc.partial = order
+        raise
     return order
 
 
@@ -89,11 +111,21 @@ def find_quiescent(p: Process, **kw) -> list[Process]:
             if not step_transitions(s)]
 
 
-def can_diverge(p: Process, *, max_states: int = 50_000,
-                collapse: bool = True) -> bool:
-    """Is a tau-only cycle reachable?  (Infinite internal chatter.)"""
+def can_diverge(p: Process, *, budget: Budget | Meter | None = None,
+                collapse: bool = True,
+                max_states: int | None = None) -> Verdict:
+    """Is a tau-only cycle reachable?  (Infinite internal chatter.)
+
+    ``UNKNOWN`` when the reachable set is truncated by the budget — an
+    unexplored region may still hide a cycle.
+    """
+    budget = legacy_cap("can_diverge", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
-    states = reachable_states(p, max_states=max_states, collapse=collapse)
+    try:
+        states = reachable_states(p, budget=meter, collapse=collapse)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
     index = {s: i for i, s in enumerate(states)}
     tau_succ: list[list[int]] = [[] for _ in states]
     for s in states:
@@ -116,31 +148,63 @@ def can_diverge(p: Process, *, max_states: int = 50_000,
                 stack.pop()
                 continue
             if colour[nxt] == GREY:
-                return True
+                return Verdict.of(True, stats=meter.stats(),
+                                  evidence=states[nxt])
             if colour[nxt] == WHITE:
                 colour[nxt] = GREY
                 stack.append((nxt, iter(tau_succ[nxt])))
-    return False
+    return Verdict.of(False, stats=meter.stats())
 
 
 def invariant_holds(p: Process, predicate: Predicate, *,
-                    max_states: int = 50_000, collapse: bool = True,
-                    witness: list | None = None) -> bool:
-    """Does *predicate* hold in every reachable state?"""
-    for s in reachable_states(p, max_states=max_states, collapse=collapse):
-        if not predicate(s):
-            if witness is not None:
-                witness.append(s)
-            return False
-    return True
+                    budget: Budget | Meter | None = None,
+                    collapse: bool = True, max_states: int | None = None,
+                    witness: list | None = None) -> Verdict:
+    """Does *predicate* hold in every reachable state?
+
+    ``FALSE`` carries the violating state as evidence (and appends it to
+    *witness* when given); ``TRUE`` needs the complete bounded graph, so a
+    budget trip yields ``UNKNOWN`` with the states explored so far.
+    """
+    budget = legacy_cap("invariant_holds", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        for s in reachable_states(p, budget=meter, collapse=collapse):
+            if not predicate(s):
+                if witness is not None:
+                    witness.append(s)
+                return Verdict.of(False, stats=meter.stats(), evidence=s)
+    except BudgetExceeded as exc:
+        # The truncated prefix may still contain a violation — check it
+        # before degrading, so refutations survive budget trips.
+        for s in (exc.partial or ()):
+            if not predicate(s):
+                if witness is not None:
+                    witness.append(s)
+                return Verdict.of(False, stats=meter.stats(), evidence=s)
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(True, stats=meter.stats())
 
 
 def eventually_always(p: Process, predicate: Predicate, *,
-                      max_states: int = 50_000, collapse: bool = True) -> bool:
+                      budget: Budget | Meter | None = None,
+                      collapse: bool = True,
+                      max_states: int | None = None) -> Verdict:
     """Does *predicate* hold in every reachable *quiescent* state?
 
-    Vacuously true when the system never quiesces within the bound.
+    Vacuously true when the system never quiesces within the bound;
+    ``UNKNOWN`` when the budget trips before the graph is exhausted.
     """
-    return all(predicate(s)
-               for s in find_quiescent(p, max_states=max_states,
-                                       collapse=collapse))
+    budget = legacy_cap("eventually_always", budget, max_states=max_states)
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    try:
+        quiescent = find_quiescent(p, budget=meter, collapse=collapse)
+    except BudgetExceeded as exc:
+        for s in (exc.partial or ()):
+            if not step_transitions(s) and not predicate(s):
+                return Verdict.of(False, stats=meter.stats(), evidence=s)
+        return Verdict.from_exceeded(exc)
+    for s in quiescent:
+        if not predicate(s):
+            return Verdict.of(False, stats=meter.stats(), evidence=s)
+    return Verdict.of(True, stats=meter.stats())

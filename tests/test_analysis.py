@@ -12,6 +12,7 @@ from repro.runtime.analysis import (
     invariant_holds,
     reachable_states,
 )
+from repro.engine import Budget
 
 
 class TestReachable:
@@ -26,7 +27,8 @@ class TestReachable:
 
     def test_budget(self):
         with pytest.raises(StateSpaceExceeded):
-            reachable_states(parse("tau.tau.tau.tau.0"), max_states=2)
+            reachable_states(parse("tau.tau.tau.tau.0"),
+                             budget=Budget(max_states=2))
 
 
 class TestQuiescence:
@@ -63,7 +65,7 @@ class TestDivergence:
         from repro.calculi.encodings import pi_to_bpi
         from repro.core.syntax import Restrict
         enc = Restrict("a", pi_to_bpi(parse("a<v>.done!")))
-        assert can_diverge(enc, max_states=2_000)
+        assert can_diverge(enc, budget=Budget(max_states=2_000))
 
 
 class TestInvariants:
@@ -88,4 +90,4 @@ class TestInvariants:
         # safety of Example 1 on an acyclic graph, as an invariant
         system = prefed_system([("a", "b")])
         assert invariant_holds(system, lambda s: "o" not in barbs(s),
-                               max_states=3_000)
+                               budget=Budget(max_states=3_000))

@@ -1,0 +1,171 @@
+"""Exhaustion scenarios end-to-end: deadlines mid-refinement, cooperative
+cancellation mid-game, graceful degradation, and the budget-monotonicity
+property (a definite verdict never flips when the budget grows)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse
+from repro.engine import (
+    Budget,
+    BudgetExceeded,
+    CancelToken,
+    Verdict,
+    govern,
+)
+from repro.equiv.game import solve_game
+from repro.equiv.labelled import labelled_bisimilar
+from repro.lts.partition import coarsest_partition
+from tests.strategies import processes1
+
+
+class SteppingClock:
+    """Advances by *dt* on every read — time passes as the search works."""
+
+    def __init__(self, dt: float = 1.0):
+        self.t = 0.0
+        self.dt = dt
+
+    def __call__(self) -> float:
+        self.t += self.dt
+        return self.t
+
+
+# A small chain graph: 4 states, successor i -> i+1.
+CHAIN_SUCCS = [frozenset({1}), frozenset({2}), frozenset({3}), frozenset()]
+CHAIN_KEYS = ["x", "x", "x", "x"]
+
+
+class TestDeadlineMidRefinement:
+    def test_deadline_trips_inside_refinement(self):
+        # The clock jumps 10s per read against a 5s deadline: the meter's
+        # first in-refinement poll (Meter.check at _refine entry) trips.
+        budget = Budget(deadline=5.0, clock=SteppingClock(dt=10.0))
+        with pytest.raises(BudgetExceeded) as ei:
+            coarsest_partition(CHAIN_SUCCS, CHAIN_KEYS, budget=budget)
+        assert ei.value.reason == "deadline"
+
+    def test_generous_deadline_completes(self):
+        budget = Budget(deadline=1e9, clock=SteppingClock(dt=1.0))
+        blocks = coarsest_partition(CHAIN_SUCCS, CHAIN_KEYS, budget=budget)
+        assert len(set(blocks)) == 4  # the chain is fully distinguished
+
+    def test_unwatched_budget_never_polls(self):
+        # A pure state cap installs no deadline/cancel: refinement must
+        # not trip on iteration count alone.
+        blocks = coarsest_partition(CHAIN_SUCCS, CHAIN_KEYS,
+                                    budget=Budget(max_states=1))
+        assert len(set(blocks)) == 4
+
+    def test_checker_degrades_to_unknown(self):
+        # End-to-end: an expired deadline surfaces as UNKNOWN once the
+        # search is big enough to reach a poll point (POLL_INTERVAL
+        # charges): 7 parallel outputs make a 128-state graph.
+        from repro.core.reduction import can_reach_barb
+        big = parse(" | ".join(f"a{i}!" for i in range(7)))
+        budget = Budget(deadline=1.0, clock=SteppingClock(dt=10.0))
+        v = can_reach_barb(big, "zz", budget=budget)
+        assert v.is_unknown and v.reason == "deadline"
+
+
+class TestCancellationMidGame:
+    def test_cancel_from_inside_challenge_generation(self):
+        # The observer cancels after the 5th explored pair; the unbounded
+        # pair graph would otherwise run forever.
+        token = CancelToken()
+        calls = [0]
+
+        def challenges(key):
+            calls[0] += 1
+            if calls[0] == 5:
+                token.cancel()
+            return [[f"n{calls[0]}"]]
+
+        with pytest.raises(BudgetExceeded) as ei:
+            solve_game("root", challenges, budget=Budget(cancel=token))
+        assert ei.value.reason == "cancelled"
+        assert calls[0] >= 5  # ran past the cancel point only to the poll
+        assert ei.value.partial  # pairs explored so far ride along
+
+    def test_cancelled_checker_returns_unknown(self):
+        token = CancelToken()
+        token.cancel()
+        grower = parse("rec X(). tau.(a! | X)")
+        v = labelled_bisimilar(grower, parse("rec Y(). tau.(a! | a! | Y)"),
+                               budget=Budget(cancel=token))
+        assert v.is_unknown and v.reason == "cancelled"
+
+    def test_uncancelled_token_is_inert(self):
+        token = CancelToken()
+        v = labelled_bisimilar(parse("a!"), parse("a!"),
+                               budget=Budget(cancel=token))
+        assert v.is_true
+
+
+class TestGracefulDegradation:
+    def test_explore_returns_partial_graph(self):
+        import repro
+        ex = repro.explore("rec X(). tau.(a! | X)",
+                           budget=Budget(max_states=10))
+        assert not ex.complete and ex.reason == "max-states"
+        assert 1 <= ex.n_states <= 11
+        assert ex.stats["tripped"] == "max-states"
+
+    def test_invariant_refutation_survives_trip(self):
+        # the violating state is inside the truncated prefix: FALSE, not
+        # UNKNOWN, even though the budget tripped
+        from repro.runtime.analysis import invariant_holds
+        grower = parse("o! | rec X(). tau.(a! | X)")
+        v = invariant_holds(grower, lambda s: False,
+                            budget=Budget(max_states=5))
+        assert v.is_false
+
+    def test_ambient_pool_shared_across_calls(self):
+        from repro.core.reduction import can_reach_barb
+        with govern(Budget(max_states=30)) as meter:
+            v1 = can_reach_barb(parse("tau.ok!"), "ok")
+            assert v1.is_true
+            spent = meter.states
+            assert spent > 0
+            v2 = can_reach_barb(parse("rec X(). tau.(a! | X)"), "zz")
+            assert v2.is_unknown  # the pool, not a fresh 30, governed it
+        assert meter.tripped == "max-states"
+
+
+# -- budget monotonicity ----------------------------------------------------
+#
+# The engine invariant: enlarging a budget can turn UNKNOWN into a
+# definite verdict but can never flip TRUE <-> FALSE, because definite
+# answers are produced only by *completed* searches and a completed
+# search is budget-independent.
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, q=processes1, cap=st.integers(2, 60))
+def test_budget_monotonicity_labelled(p, q, cap):
+    small = Budget(max_states=cap)
+    v_small = labelled_bisimilar(p, q, budget=small)
+    v_big = labelled_bisimilar(p, q, budget=small.scaled(10))
+    if v_small.is_definite:
+        assert v_big.truth == v_small.truth
+    # (UNKNOWN at the small budget may be anything at the big one.)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, cap=st.integers(2, 40))
+def test_budget_monotonicity_reachability(p, cap):
+    from repro.core.reduction import can_reach_barb
+    small = Budget(max_states=cap)
+    v_small = can_reach_barb(p, "a", budget=small)
+    v_big = can_reach_barb(p, "a", budget=small.scaled(10))
+    if v_small.is_definite:
+        assert v_big.truth == v_small.truth
+
+
+def test_unknown_only_from_tripped_budget():
+    # Verdict.from_exceeded is the only trip-to-verdict path and cannot
+    # yield a definite answer.
+    exc = BudgetExceeded("max-states", "boom")
+    assert Verdict.from_exceeded(exc).is_unknown

@@ -21,6 +21,7 @@ from repro.core.parser import parse
 from repro.core.reduction import can_reach_barb
 from repro.core.semantics import step_transitions
 from repro.core.syntax import NIL, Match
+from repro.engine import Budget
 
 
 class TestCombinators:
@@ -83,7 +84,7 @@ class TestReplication:
     def test_serves_repeatedly(self):
         service = replicate_input("req", ("x",), out("resp", "x"))
         system = par(service, out("req", "v1", cont=out("req", "v2")))
-        assert can_reach_barb(system, "resp", max_states=3_000,
+        assert can_reach_barb(system, "resp", budget=Budget(max_states=3_000),
                               collapse_duplicates=True)
 
     def test_one_broadcast_many_copies_is_one_reception(self):

@@ -42,6 +42,7 @@ from repro.core.reduction import can_reach_barb, weak_barbs
 from repro.core.semantics import input_continuations, step_transitions
 from repro.equiv.barbed import strong_barbed_bisimilar
 from repro.equiv.congruence import congruent
+from repro.engine import Budget
 
 
 # ---------------------------------------------------------------------------
@@ -249,7 +250,7 @@ class TestPiEncoding:
         spaces, so full exhaustion is not attempted."""
         from repro.core.reduction import StateSpaceExceeded
         try:
-            return can_reach_barb(p, chan, max_states=budget,
+            return can_reach_barb(p, chan, budget=Budget(max_states=budget),
                                   collapse_duplicates=True)
         except StateSpaceExceeded:
             return False
@@ -277,7 +278,8 @@ class TestPiEncoding:
         both = any(
             {"c", "d"} <= barbs(s)
             for s in _bounded_closure(src if False else enc,
-                                      step_successors_closed, 60_000,
+                                      step_successors_closed,
+                                      Budget(max_states=60_000).meter(),
                                       canonical=canonical_state_collapsed))
         assert not both
 

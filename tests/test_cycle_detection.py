@@ -18,6 +18,7 @@ from repro.apps.cycle_detection import (
 )
 from repro.core.freenames import free_names
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 CYCLIC = [
     [("a", "a")],
@@ -47,7 +48,7 @@ class TestDetection:
     def test_acyclic_clean(self, edges):
         if edges:
             assert not has_cycle_reference(edges)
-        assert not detects_cycle(edges, max_states=1_500)
+        assert not detects_cycle(edges, budget=Budget(max_states=1_500))
 
     def test_feeding_phase(self):
         # full system including the edge feeder on channel i
@@ -76,11 +77,11 @@ class TestComponents:
     def test_self_loop_manager_signals_alone(self):
         # edge (a, a): the manager's own token comes straight home
         m = edge_manager("o", "a", "a")
-        assert can_reach_barb(m, "o", max_states=2_000)
+        assert can_reach_barb(m, "o", budget=Budget(max_states=2_000))
 
     def test_plain_edge_manager_is_silent(self):
         m = edge_manager("o", "a", "b")
-        assert not can_reach_barb(m, "o", max_states=1_000)
+        assert not can_reach_barb(m, "o", budget=Budget(max_states=1_000))
 
     def test_feeder_emits_pairs(self):
         f = feeder("i", [("a", "b")])

@@ -17,12 +17,13 @@ from repro.calculi.data import (
 )
 from repro.core.builder import inp, out, par
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 
 def reaches(system, chan, budget=30_000):
     from repro.core.reduction import StateSpaceExceeded
     try:
-        return can_reach_barb(system, chan, max_states=budget,
+        return can_reach_barb(system, chan, budget=Budget(max_states=budget),
                               collapse_duplicates=True)
     except StateSpaceExceeded:
         return False

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.reduction import StateSpaceExceeded
 from repro.equiv.game import solve_game
+from repro.engine import Budget
 
 
 def table_solver(table):
@@ -69,4 +70,4 @@ class TestSolveGame:
             return [[f"n{counter[0]}"]]
 
         with pytest.raises(StateSpaceExceeded):
-            solve_game("root", challenges, max_pairs=50)
+            solve_game("root", challenges, budget=Budget(max_states=50))

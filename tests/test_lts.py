@@ -9,6 +9,7 @@ from repro.core.reduction import StateSpaceExceeded
 from repro.lts.graph import build_full_lts, build_step_lts, canonical_output_label
 from repro.lts.partition import coarsest_partition, partition_relates
 from repro.lts.weak import reachability_closure, weak_keys
+from repro.engine import Budget
 
 
 class TestStepLts:
@@ -36,7 +37,8 @@ class TestStepLts:
     def test_bound(self):
         grower = parse("rec X(x := a). nu y x<y>.(X<x> | y?)")
         with pytest.raises(StateSpaceExceeded):
-            build_step_lts(grower, max_states=10, close_binders=False)
+            build_step_lts(grower, budget=Budget(max_states=10),
+                           close_binders=False)
 
 
 class TestFullLts:

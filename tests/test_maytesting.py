@@ -17,6 +17,7 @@ from repro.equiv.maytesting import (
     observer_family,
     output_traces,
 )
+from repro.engine import Budget
 from tests.strategies import processes0
 
 
@@ -40,7 +41,7 @@ class TestMayMachinery:
         p = parse("a!")
         ok_observer = inp("a", (), out("succ_omega"))
         assert may_pass(p, ok_observer)
-        assert not may_pass(parse("b!"), ok_observer, max_states=2_000)
+        assert not may_pass(parse("b!"), ok_observer, budget=Budget(max_states=2_000))
 
     def test_observer_family_nonempty(self):
         obs = observer_family(parse("a!"), parse("b?"))
@@ -74,11 +75,11 @@ class TestMayMachinery:
 @given(processes0)
 @settings(max_examples=15, deadline=None)
 def test_may_equivalence_reflexive(p):
-    assert may_equivalent_sampled(p, p, max_states=4_000)
+    assert may_equivalent_sampled(p, p, budget=Budget(max_states=4_000))
 
 
 @given(processes0)
 @settings(max_examples=15, deadline=None)
 def test_bisimilarity_implies_may_equivalence(p):
     q = p | parse("0")
-    assert may_equivalent_sampled(p, q, max_states=4_000)
+    assert may_equivalent_sampled(p, q, budget=Budget(max_states=4_000))

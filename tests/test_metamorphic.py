@@ -20,6 +20,7 @@ from repro.equiv.labelled import strong_bisimilar, weak_bisimilar
 from repro.equiv.maytesting import output_traces
 from repro.equiv.simulation import simulates
 from repro.equiv.step import strong_step_bisimilar
+from repro.engine import Budget
 from tests.strategies import finite_processes, processes0
 
 SMALL = finite_processes(arity=0, max_leaves=4)
@@ -87,7 +88,7 @@ def test_hnf_and_prover_agree(p):
 def test_weak_barbs_union_of_reachable_strong(p):
     from repro.core.reduction import reachable_by_steps
     reach_barbs = frozenset()
-    for s in reachable_by_steps(p, max_states=2_000):
+    for s in reachable_by_steps(p, budget=Budget(max_states=2_000)):
         reach_barbs |= barbs(s)
     # weak barbs follow tau-only steps: a subset of phi-reachable barbs
     assert weak_barbs(p) <= reach_barbs

@@ -283,10 +283,10 @@ class TestOracle:
         pairs = [("a?", "0", True), ("a?.c!", "0", False),
                  ("a! + a!", "a!", True)]
         for sp, sq, want in pairs:
-            assert labelled_bisimilar(parse(sp), parse(sq)) is want
+            assert labelled_bisimilar(parse(sp), parse(sq)) == want
         obs.enable()
         for sp, sq, want in pairs:
-            assert labelled_bisimilar(parse(sp), parse(sq)) is want
+            assert labelled_bisimilar(parse(sp), parse(sq)) == want
         obs.disable()
         assert obs.counter_value("game.pairs_explored") > 0
 

@@ -15,6 +15,7 @@ from repro.core.reduction import (
     weak_barbs,
     weak_step_barbs,
 )
+from repro.engine import Budget
 from tests.strategies import processes1
 
 
@@ -74,10 +75,10 @@ class TestObservables:
     def test_reachable_by_steps_bounded(self):
         grower = parse("rec X(x := a). nu y x<y>.(y? | X<x>)")
         with pytest.raises(StateSpaceExceeded):
-            list(reachable_by_steps(grower, max_states=5))
+            list(reachable_by_steps(grower, budget=Budget(max_states=5)))
 
     def test_reachable_by_steps_content(self):
-        states = list(reachable_by_steps(parse("a!.b!"), max_states=10))
+        states = list(reachable_by_steps(parse("a!.b!"), budget=Budget(max_states=10)))
         assert len(states) == 3
 
 

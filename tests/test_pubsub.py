@@ -12,6 +12,7 @@ from repro.apps.pubsub import (
 from repro.core.builder import out, par
 from repro.core.freenames import free_names
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 
 class TestDelivery:
@@ -31,11 +32,11 @@ class TestDelivery:
 
     def test_non_subscriber_gets_nothing(self):
         system = network(["m1"], ["alice"])
-        assert not delivered(system, "eve", "m1", max_states=5_000)
+        assert not delivered(system, "eve", "m1", budget=Budget(max_states=5_000))
 
     def test_no_wrong_payload(self):
         system = network(["m1"], ["alice"])
-        assert not delivered(system, "alice", "zz", max_states=5_000)
+        assert not delivered(system, "alice", "zz", budget=Budget(max_states=5_000))
 
 
 class TestDynamicReceivers:

@@ -22,10 +22,11 @@ from repro.apps.pvm import (
 from repro.core.builder import out, par
 from repro.core.freenames import free_names, is_closed
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 
 def reaches(system, chan, max_states=30_000):
-    return can_reach_barb(system, chan, max_states=max_states,
+    return can_reach_barb(system, chan, budget=Budget(max_states=max_states),
                           collapse_duplicates=True)
 
 
@@ -138,4 +139,4 @@ class TestEncodingShape:
         # the address input capability disappears along some run
         from repro.core.reduction import reachable_by_steps
         from repro.core.discard import discards
-        assert any(discards(s, "addr") for s in reachable_by_steps(p, 100))
+        assert any(discards(s, "addr") for s in reachable_by_steps(p, budget=Budget(max_states=100)))

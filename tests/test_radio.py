@@ -13,6 +13,7 @@ from repro.apps.radio import (
 from repro.core.builder import par
 from repro.core.reduction import barbs
 from repro.runtime.analysis import find_quiescent, invariant_holds
+from repro.engine import Budget
 
 
 class TestReliableProtocol:
@@ -30,7 +31,7 @@ class TestReliableProtocol:
         # delivery channel carrying a foreign name (safety over the
         # collapsed reachable set)
         system = reliable_network("frame1", ["rx_a"])
-        assert not can_deliver(system, "rx_a", "garbage", max_states=8_000)
+        assert not can_deliver(system, "rx_a", "garbage", budget=Budget(max_states=8_000))
 
     def test_perfect_medium_also_works(self):
         system = reliable_network("frame1", ["rx_a"], lossy=False)
@@ -39,7 +40,7 @@ class TestReliableProtocol:
     def test_sender_learns_completion(self):
         from repro.core.reduction import can_reach_barb
         system = reliable_network("frame1", ["rx_a"])
-        assert can_reach_barb(system, "sent_ok", max_states=60_000,
+        assert can_reach_barb(system, "sent_ok", budget=Budget(max_states=60_000),
                               collapse_duplicates=True)
 
 
@@ -52,7 +53,7 @@ class TestUnreliableBaseline:
         from repro.core.discard import discards
         system = par(unreliable_network("frame1", ["rx_a"]),
                      _delivery_probe("rx_a", "frame1", "got"))
-        quiescent = find_quiescent(system, max_states=20_000)
+        quiescent = find_quiescent(system, budget=Budget(max_states=20_000))
         lost = [s for s in quiescent if not discards(s, "rx_a")]
         delivered = [s for s in quiescent if discards(s, "rx_a")]
         assert lost, "a dropping run must exist"
@@ -64,12 +65,12 @@ class TestUnreliableBaseline:
         from repro.core.discard import discards
         system = par(reliable_network("frame1", ["rx_a"]),
                      _delivery_probe("rx_a", "frame1", "got"))
-        quiescent = find_quiescent(system, max_states=30_000)
+        quiescent = find_quiescent(system, budget=Budget(max_states=30_000))
         assert all(discards(s, "rx_a") for s in quiescent)
 
     def test_delivery_still_possible(self):
         system = unreliable_network("frame1", ["rx_a"])
-        assert can_deliver(system, "rx_a", "frame1", max_states=20_000)
+        assert can_deliver(system, "rx_a", "frame1", budget=Budget(max_states=20_000))
 
 
 class TestComponents:
@@ -78,12 +79,12 @@ class TestComponents:
         from repro.core.reduction import can_reach_barb
         system = par(lossy_medium(), nu("k", out("air", "m", "k")),
                      receiver("dst"))
-        assert can_reach_barb(system, "dst", max_states=5_000,
+        assert can_reach_barb(system, "dst", budget=Budget(max_states=5_000),
                               collapse_duplicates=True)
 
     def test_receiver_acks(self):
         from repro.core.builder import out
         from repro.core.reduction import can_reach_barb
         system = par(receiver("dst"), out("wave", "m", "ackchan"))
-        assert can_reach_barb(system, "ackchan", max_states=2_000,
+        assert can_reach_barb(system, "ackchan", budget=Budget(max_states=2_000),
                               collapse_duplicates=True)

@@ -21,6 +21,7 @@ from repro.apps.ram import (
 )
 from repro.core.freenames import is_closed
 from repro.core.reduction import can_reach_barb
+from repro.engine import Budget
 
 
 class TestReferenceInterpreter:
@@ -72,7 +73,7 @@ class TestEncodedMachine:
 
     def test_halt_reachable_by_search(self):
         prog = [Emit("one"), Halt()]
-        assert can_reach_barb(encode(prog), "halted", max_states=3_000,
+        assert can_reach_barb(encode(prog), "halted", budget=Budget(max_states=3_000),
                               collapse_duplicates=True)
 
     def test_machine_is_closed_modulo_observables(self):

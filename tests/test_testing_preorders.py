@@ -13,6 +13,7 @@ from repro.equiv.musttesting import (
     must_preorder_sampled,
 )
 from repro.equiv.simulation import similar, simulates
+from repro.engine import Budget
 
 SUCC = "succ_omega"
 
@@ -58,9 +59,14 @@ class TestMustPass:
         assert must_pass(p, hear_then_succeed("a"))
 
     def test_budget(self):
+        # must-verdicts cannot be truncated soundly: a trip is UNKNOWN,
+        # and forcing it to bool raises (StateSpaceExceeded-compatible)
         chain = parse("tau.tau.tau.tau.b!")
+        verdict = must_pass(chain, hear_then_succeed("never"),
+                            budget=Budget(max_states=2))
+        assert verdict.is_unknown and verdict.reason == "max-states"
         with pytest.raises(StateSpaceExceeded):
-            must_pass(chain, hear_then_succeed("never"), max_states=2)
+            bool(verdict)
 
 
 class TestMustDistinguishes:
