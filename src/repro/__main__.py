@@ -43,7 +43,7 @@ from .core.parser import parse
 from .core.pretty import pretty
 from .core.reduction import can_reach_barb
 from .core.semantics import step_transitions, transitions
-from .engine.budget import Budget, BudgetExceeded, govern
+from .engine.budget import Budget, BudgetExceeded
 from .runtime.simulator import run as sim_run
 
 #: Exit status when a decision command's budget tripped (UNKNOWN).
@@ -245,13 +245,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     def dispatch() -> int:
-        # Ambient governance: when budget flags were given, every bounded
-        # analysis the command touches shares one resource pool, so a
-        # --timeout bounds the whole command rather than each sub-search.
-        if (getattr(args, "max_states", None) is not None
-                or getattr(args, "timeout", None) is not None):
-            with govern(_budget_from(args)):
-                return args.func(args)
+        # Each command builds one explicit Budget from the flags and runs
+        # exactly one governed check against it, so the flags bound the
+        # whole command; an ambient govern() here would be shadowed by
+        # those explicit budgets (explicit beats ambient) and only start
+        # a second, unconsulted deadline clock.
         return args.func(args)
 
     trace_path = getattr(args, "trace", None)

@@ -14,8 +14,9 @@ cap.  This module centralises those caps:
 * :func:`govern` — an ambient (contextvar-scoped) meter: every engine
   entry point called inside ``with govern(budget):`` that is not given an
   explicit budget shares one resource pool.  This is how composite
-  checkers (congruence over many substitutions, the CLI's ``--timeout``)
-  govern their sub-searches.
+  checkers (congruence over many substitutions, a driver running many
+  checks) govern their sub-searches; note an explicit ``budget=`` beats
+  the ambient pool, so governed calls must leave ``budget`` unset.
 
 The contract has two layers:
 
@@ -324,12 +325,19 @@ def legacy_cap(func_name: str, budget: "Budget | Meter | None",
             f"{func_name}() got budget= and deprecated "
             f"{sorted(given)}; pass only budget=")
     spelt = ", ".join(f"{k}={v}" for k, v in sorted(given.items()))
-    warnings.warn(
-        f"{func_name}({spelt}) is deprecated; pass "
-        f"budget=repro.engine.Budget(max_states=N) instead",
-        DeprecationWarning, stacklevel=3)
     # All legacy caps bound the same kind of interning; when several are
     # given the loosest governs the unified pool (the historical caps
     # bounded *different* sub-searches, so the pool must not be tighter
     # than the largest of them).
-    return Budget(max_states=max(given.values()))
+    cap = max(given.values())
+    merged = ""
+    if len(given) > 1:
+        merged = (f"; the caps are unified into one shared pool of "
+                  f"max_states={cap} — each historical cap bounded its "
+                  f"own sub-search, so sub-searches previously bounded "
+                  f"by a smaller cap may now explore up to the pool")
+    warnings.warn(
+        f"{func_name}({spelt}) is deprecated; pass "
+        f"budget=repro.engine.Budget(max_states=N) instead{merged}",
+        DeprecationWarning, stacklevel=3)
+    return Budget(max_states=cap)

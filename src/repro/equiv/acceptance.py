@@ -97,42 +97,44 @@ def traces_upto(p: Process, max_depth: int = 4, *,
                 max_states: int | None = None) -> frozenset[Trace]:
     """Output-subject traces of length <= max_depth (prefix-closed).
 
-    ``max_depth`` is semantic; a budget trip degrades gracefully to the
-    prefix language found so far.
+    ``max_depth`` is semantic.  Raw-explorer contract: a budget trip
+    raises :class:`~repro.engine.budget.BudgetExceeded` with the prefix
+    language found so far attached to ``exc.partial`` — a truncated
+    language is incomparable, so callers must not mistake it for the
+    complete one (comparing truncated languages for (in)equality would
+    fabricate definite verdicts from an exhausted budget).
     """
     budget = legacy_cap("traces_upto", budget, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     out: set[Trace] = {()}
     frontier = deque([(canonical_state(p), ())])
     seen = set(frontier)
-    while frontier:
-        state, trace = frontier.popleft()
-        if len(trace) >= max_depth:
-            continue
-        try:
-            meter.tick()
-        except BudgetExceeded:
-            break
-        for action, target in step_transitions(state):
-            if isinstance(action, OutputAction) and action.binders:
-                for b in reversed(action.binders):
-                    target = Restrict(b, target)
-            tgt = canonical_state(target)
-            if isinstance(action, TauAction):
-                item = (tgt, trace)
-            elif isinstance(action, OutputAction):
-                new_trace = trace + (action.chan,)
-                out.add(new_trace)
-                item = (tgt, new_trace)
-            else:  # pragma: no cover - step_transitions yields no inputs
+    try:
+        while frontier:
+            state, trace = frontier.popleft()
+            if len(trace) >= max_depth:
                 continue
-            if item not in seen:
-                try:
+            meter.tick()
+            for action, target in step_transitions(state):
+                if isinstance(action, OutputAction) and action.binders:
+                    for b in reversed(action.binders):
+                        target = Restrict(b, target)
+                tgt = canonical_state(target)
+                if isinstance(action, TauAction):
+                    item = (tgt, trace)
+                elif isinstance(action, OutputAction):
+                    new_trace = trace + (action.chan,)
+                    out.add(new_trace)
+                    item = (tgt, new_trace)
+                else:  # pragma: no cover - step_transitions yields no inputs
+                    continue
+                if item not in seen:
                     meter.charge()
-                except BudgetExceeded:
-                    return frozenset(out)
-                seen.add(item)
-                frontier.append(item)
+                    seen.add(item)
+                    frontier.append(item)
+    except BudgetExceeded as exc:
+        exc.partial = frozenset(out)
+        raise
     return frozenset(out)
 
 

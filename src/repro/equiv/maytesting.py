@@ -56,8 +56,11 @@ def output_traces(p: Process, max_depth: int = 6, *,
     Traces record ``chan<objs>`` strings of the broadcasts along phi-runs
     (taus are invisible); the set is prefix-closed by construction.
     ``max_depth`` is semantic (the language is depth-bounded by
-    definition); the *budget* caps exploration, degrading to the prefix
-    of the language found so far when it trips.
+    definition).  Raw-explorer contract: a budget trip raises
+    :class:`~repro.engine.budget.BudgetExceeded` with the prefix of the
+    language found so far attached to ``exc.partial``, so callers
+    comparing two languages can never mistake a truncated set for a
+    complete one.
     """
     from ..core.canonical import canonical_state
     from ..engine.budget import BudgetExceeded
@@ -66,26 +69,27 @@ def output_traces(p: Process, max_depth: int = 6, *,
     traces: set[tuple[str, ...]] = {()}
     seen: set[tuple[Process, tuple[str, ...]]] = set()
     stack = [(p, ())]
-    while stack:
-        state, trace = stack.pop()
-        if len(trace) >= max_depth:
-            continue
-        key = (canonical_state(state), trace)
-        if key in seen:
-            continue
-        try:
+    try:
+        while stack:
+            state, trace = stack.pop()
+            if len(trace) >= max_depth:
+                continue
+            key = (canonical_state(state), trace)
+            if key in seen:
+                continue
             meter.charge()
-        except BudgetExceeded:
-            break
-        seen.add(key)
-        for action, target in step_transitions(state):
-            if isinstance(action, OutputAction):
-                step = str(action)
-                new_trace = trace + (step,)
-                traces.add(new_trace)
-                stack.append((target, new_trace))
-            else:
-                stack.append((target, trace))
+            seen.add(key)
+            for action, target in step_transitions(state):
+                if isinstance(action, OutputAction):
+                    step = str(action)
+                    new_trace = trace + (step,)
+                    traces.add(new_trace)
+                    stack.append((target, new_trace))
+                else:
+                    stack.append((target, trace))
+    except BudgetExceeded as exc:
+        exc.partial = frozenset(traces)
+        raise
     return frozenset(traces)
 
 

@@ -164,6 +164,53 @@ def test_budget_monotonicity_reachability(p, cap):
         assert v_big.truth == v_small.truth
 
 
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, q=processes1, cap=st.integers(2, 60))
+def test_budget_monotonicity_acceptance(p, q, cap):
+    from repro.equiv.acceptance import acceptance_equal
+    small = Budget(max_states=cap)
+    v_small = acceptance_equal(p, q, budget=small)
+    v_big = acceptance_equal(p, q, budget=small.scaled(10))
+    if v_small.is_definite:
+        assert v_big.truth == v_small.truth
+
+
+class TestTraceLanguageTruncation:
+    """A truncated trace language must never be compared as complete:
+    with a shared meter the second exploration truncates immediately
+    after the first trips, so equality on the truncated sets would
+    fabricate a definite FALSE (even for p compared against itself)."""
+
+    BIG = " | ".join(f"a{i}!" for i in range(6))  # 64 states, ample traces
+
+    def test_acceptance_equal_self_is_never_false_under_trip(self):
+        from repro.equiv.acceptance import acceptance_equal
+        p = parse(self.BIG)
+        v = acceptance_equal(p, p, budget=Budget(max_states=15))
+        assert v.is_unknown and v.reason == "max-states"
+
+    def test_accepts_refines_goes_unknown_under_trip(self):
+        from repro.equiv.acceptance import accepts_refines
+        p = parse(self.BIG)
+        v = accepts_refines(p, p, budget=Budget(max_states=15))
+        assert v.is_unknown and v.reason == "max-states"
+
+    def test_traces_upto_raises_with_partial(self):
+        from repro.equiv.acceptance import traces_upto
+        with pytest.raises(BudgetExceeded) as ei:
+            traces_upto(parse(self.BIG), budget=Budget(max_states=15))
+        assert ei.value.reason == "max-states"
+        assert () in ei.value.partial  # the prefix language rides along
+
+    def test_output_traces_raises_with_partial(self):
+        from repro.equiv.maytesting import output_traces
+        with pytest.raises(BudgetExceeded) as ei:
+            output_traces(parse(self.BIG), budget=Budget(max_states=15))
+        assert ei.value.reason == "max-states"
+        assert () in ei.value.partial
+
+
 def test_unknown_only_from_tripped_budget():
     # Verdict.from_exceeded is the only trip-to-verdict path and cannot
     # yield a definite answer.

@@ -164,8 +164,12 @@ class TestLegacyCap:
             b = legacy_cap("f", None, max_states=9)
         assert b == Budget(max_states=9)
 
-    def test_legacy_takes_loosest(self):
-        with pytest.warns(DeprecationWarning):
+    def test_legacy_takes_loosest_and_says_so(self):
+        # The warning must flag the semantics change: caps that bounded
+        # separate sub-searches are unified into one shared pool.
+        with pytest.warns(DeprecationWarning,
+                          match="unified into one shared pool of "
+                                "max_states=11"):
             b = legacy_cap("f", None, max_states=5, max_pairs=11)
         assert b.max_states == 11
 
