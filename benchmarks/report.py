@@ -24,6 +24,11 @@ The harness runs with ``repro.obs`` enabled: every row executes inside an
 engine counters under the ``"obs"`` key — so the ledger explains *where*
 each row's time went (states expanded, partition splits, game pairs; see
 docs/observability.md).
+
+Schema 4 adds a ``"lint"`` block: the static analyzer
+(:mod:`repro.lint`) runs over the apps/examples corpus and reports
+per-pass wall-clock totals and per-code diagnostic counts, tracking
+analyzer cost on a realistic term mix PR over PR.
 """
 
 from __future__ import annotations
@@ -207,6 +212,32 @@ def _pi() -> bool:
                                             parse("nu a a<b>.c<d>")))
 
 
+def lint_block() -> dict:
+    """Static-analyzer cost and findings over the apps/examples corpus."""
+    from repro.lint import corpus, run_lint
+    entries = corpus()
+    pass_seconds: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    dirty = []
+    t0 = time.perf_counter()
+    for name, term in entries:
+        report = run_lint(term)
+        for code, secs in report.timings.items():
+            pass_seconds[code] = pass_seconds.get(code, 0.0) + secs
+        for code, n in report.counts().items():
+            counts[code] = counts.get(code, 0) + n
+        if not report.ok:
+            dirty.append(name)
+    return {
+        "terms": len(entries),
+        "clean": len(entries) - len(dirty),
+        "dirty": dirty,
+        "seconds": time.perf_counter() - t0,
+        "pass_seconds": pass_seconds,
+        "counts": counts,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--json", nargs="?", const="BENCH_report.json",
@@ -268,10 +299,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         from repro.core import cache_stats
         payload = {
-            "schema": 3,
+            "schema": 4,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
+            "lint": lint_block(),
             "cache": cache_stats(),
             "obs": obs.snapshot(),
         }

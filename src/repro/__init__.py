@@ -17,6 +17,7 @@ Packages
 ``repro.runtime``  a seeded simulator for closed broadcast systems
 ``repro.obs``      tracing spans, metrics and progress hooks (off by default)
 ``repro.engine``   budgets, meters and three-valued verdicts
+``repro.lint``     static analysis (BP diagnostics) over process terms
 ``repro.api``      the stable high-level facade (re-exported here)
 
 Facade
@@ -28,6 +29,7 @@ The common workflows are four verbs, importable straight off the package::
     repro.check("tau.a!", "a!", relation="barbed", weak=True)
     repro.explore(p, budget=repro.Budget(max_states=500))
     repro.decide_axioms("a! + a!", "a!")
+    repro.api.lint("nu x x!").format_text()   # static analysis (BP codes)
 
 Every bounded analysis takes a keyword-only ``budget=`` (a
 :class:`repro.Budget`) and returns a three-valued :class:`repro.Verdict`
@@ -42,7 +44,9 @@ import sys as _sys
 # and canonicalization recurse over them, so give CPython head-room.
 _sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
 
-from . import apps, axioms, calculi, core, engine, equiv, lts, obs, runtime
+# NB: `repro.lint` is the static-analysis *package*; the facade verb is
+# `repro.api.lint` (re-exporting the verb here would shadow the package).
+from . import apps, axioms, calculi, core, engine, equiv, lint, lts, obs, runtime
 from .api import Exploration, check, decide_axioms, explore, parse, reach
 from .engine import (
     Budget,
@@ -59,8 +63,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     # subpackages
-    "apps", "axioms", "calculi", "core", "engine", "equiv", "lts", "obs",
-    "runtime",
+    "apps", "axioms", "calculi", "core", "engine", "equiv", "lint", "lts",
+    "obs", "runtime",
     # facade verbs
     "parse", "check", "explore", "decide_axioms", "reach", "Exploration",
     # engine vocabulary

@@ -14,6 +14,9 @@ barb "<process>" <channel> [--max-states N]
     Bounded search: can the system reach a broadcast on the channel?
 canon "<process>"
     Print the canonical state form.
+lint "<process>" [--select CODES] [--ignore CODES] [--format text|json]
+    Static analysis (BP diagnostics); `--corpus` lints every apps/examples
+    term instead.  Exit 0 clean, 1 findings, 2 parse failure.
 
 Budget (before or after the subcommand):
 --max-states N  cap the number of explored states/pairs
@@ -39,7 +42,7 @@ import sys
 from .core.canonical import canonical_state
 from .core.freenames import free_names
 from .core.names import NameUniverse
-from .core.parser import parse
+from .core.parser import ParseError, parse
 from .core.pretty import pretty
 from .core.reduction import can_reach_barb
 from .core.semantics import step_transitions, transitions
@@ -118,6 +121,43 @@ def _cmd_barb(args: argparse.Namespace) -> int:
 def _cmd_canon(args: argparse.Namespace) -> int:
     print(pretty(canonical_state(parse(args.process))))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint.engine import run_lint
+
+    if args.corpus:
+        if args.process is not None:
+            print("lint: --corpus takes no process argument", file=sys.stderr)
+            return 2
+        from .lint.corpus import corpus
+        reports = [(name, run_lint(term, select=args.select,
+                                   ignore=args.ignore))
+                   for name, term in corpus()]
+        dirty = sum(not r.ok for _, r in reports)
+        if args.format == "json":
+            print(json.dumps({name: r.to_json() for name, r in reports},
+                             indent=2))
+        else:
+            for name, report in reports:
+                print(f"{name}: {report.summary()}")
+                if not report.ok:
+                    for d in report.diagnostics:
+                        print(f"  {d.format()}")
+            print(f"corpus: {len(reports) - dirty}/{len(reports)} clean")
+        return 0 if dirty == 0 else 1
+    if args.process is None:
+        print("lint: need a process term (or --corpus)", file=sys.stderr)
+        return 2
+    from .api import lint as api_lint
+    report = api_lint(args.process, select=args.select, ignore=args.ignore)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -242,6 +282,21 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--minimize", action="store_true")
     s.set_defaults(func=_cmd_graph)
 
+    s = sub.add_parser(
+        "lint", help="static analysis (exit 0 clean / 1 findings / 2 "
+                     "parse error)",
+        parents=[obs_parent])
+    s.add_argument("process", nargs="?",
+                   help="term to analyse (omit with --corpus)")
+    s.add_argument("--corpus", action="store_true",
+                   help="lint every apps/examples corpus term instead")
+    s.add_argument("--select", metavar="CODES",
+                   help="only run these code prefixes (e.g. BP1,BP201)")
+    s.add_argument("--ignore", metavar="CODES",
+                   help="skip these code prefixes")
+    s.add_argument("--format", default="text", choices=["text", "json"])
+    s.set_defaults(func=_cmd_lint)
+
     args = parser.parse_args(argv)
 
     def dispatch() -> int:
@@ -250,7 +305,15 @@ def main(argv: list[str] | None = None) -> int:
         # whole command; an ambient govern() here would be shadowed by
         # those explicit budgets (explicit beats ambient) and only start
         # a second, unconsulted deadline clock.
-        return args.func(args)
+        try:
+            return args.func(args)
+        except ParseError as exc:
+            print(f"parse error: {exc}", file=sys.stderr)
+            excerpt = exc.source_context()
+            if excerpt:
+                print("\n".join("  " + ln for ln in excerpt.splitlines()),
+                      file=sys.stderr)
+            return EXIT_UNKNOWN
 
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from typing import TYPE_CHECKING
+
 from .core.parser import parse as _parse
 from .core.syntax import Process
 from .engine.budget import (
@@ -36,7 +38,10 @@ from .engine.budget import (
 )
 from .engine.verdict import Verdict
 
-__all__ = ["parse", "check", "explore", "decide_axioms", "reach",
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint uses obs)
+    from .lint.diagnostics import LintReport
+
+__all__ = ["parse", "check", "explore", "decide_axioms", "reach", "lint",
            "Exploration", "RELATIONS"]
 
 
@@ -165,3 +170,26 @@ def reach(p: "Process | str", channel: str, *,
     from .core.reduction import can_reach_barb
     return can_reach_barb(_as_process(p), channel, budget=budget,
                           collapse_duplicates=collapse_duplicates)
+
+
+def lint(p: "Process | str", *,
+         select: "str | list[str] | None" = None,
+         ignore: "str | list[str] | None" = None) -> "LintReport":
+    """Statically analyse *p*; returns a :class:`~repro.lint.LintReport`.
+
+    Runs the registered passes (``BP101`` unguarded recursion, ``BP102``
+    sort inconsistency, ``BP201`` deaf broadcast, ``BP202`` dead match
+    branch, ``BP301`` tau-divergence risk, ``BP302`` binder hygiene —
+    see :mod:`repro.lint.passes`).  When *p* is a source string it is
+    parsed with a span table, so the report's findings carry caret-ready
+    source excerpts; a pre-built :class:`Process` yields occurrence-path
+    positions only.  *select*/*ignore* are code prefixes (``"BP2"``
+    covers BP201 and BP202), comma-separated when given as one string.
+    """
+    from .lint.engine import run_lint
+    if isinstance(p, str):
+        from .core.parser import parse_with_spans
+        term, spans = parse_with_spans(p)
+    else:
+        term, spans = p, None
+    return run_lint(term, spans=spans, select=select, ignore=ignore)

@@ -20,6 +20,16 @@ Channel names start with a lowercase letter, process identifiers with an
 uppercase letter.  ``rec X(x := a, y := b). P`` is sugar for
 ``(rec X(x, y). P)<a, b>``.  A parenthesised ``rec`` abstraction may be
 applied with ``<args>``.
+
+Source spans
+------------
+Terms are hash-consed, so a source location can never live on a node (the
+two ``a!`` occurrences in ``a! | a!`` are one object).  ``parse(text,
+spans=table)`` therefore populates an optional side
+:class:`~repro.core.spans.SpanTable` keyed by *occurrence path* — the
+tuple of child indices from the root — which is what the diagnostics
+layer (:mod:`repro.lint`) uses to point findings at the original text.
+:func:`parse_with_spans` is the convenience wrapper returning both.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from __future__ import annotations
 import re
 
 from .names import FRESH_PREFIX
+from .spans import Span, SpanTable, caret_context, line_col
 from .substitution import BOUND_PREFIX
 from .syntax import (
     NIL,
@@ -42,15 +53,28 @@ from .syntax import (
     Tau,
 )
 
+#: Internal span-tree node: (start, end, child span nodes in children() order).
+_SNode = tuple[int, int, tuple]
+
 
 class ParseError(ValueError):
-    """Raised on malformed input, with position information."""
+    """Raised on malformed input, with position information.
+
+    ``pos`` is the failing offset; ``line``/``col`` are 1-based, and
+    :meth:`source_context` renders the offending line with a caret under
+    the failing column (used by the CLI).
+    """
 
     def __init__(self, message: str, text: str, pos: int):
-        line = text.count("\n", 0, pos) + 1
-        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
-        super().__init__(f"{message} at line {line}, column {col}")
+        self.line, self.col = line_col(text, pos)
+        super().__init__(f"{message} at line {self.line}, column {self.col}")
+        self.message = message
+        self.text = text
         self.pos = pos
+
+    def source_context(self) -> str:
+        """The offending source line, caret-underlined at the column."""
+        return caret_context(self.text, self.pos)
 
 
 _TOKEN_RE = re.compile(r"""
@@ -88,11 +112,12 @@ class _Tokens:
             self.index += 1
         return tok
 
-    def expect(self, value: str) -> None:
+    def expect(self, value: str) -> tuple[str, str, int]:
         kind, text, pos = self.next()
         if text != value:
             raise ParseError(f"expected {value!r}, found {text or 'end of input'!r}",
                              self.text, pos)
+        return kind, text, pos
 
     def accept(self, value: str) -> bool:
         if self.peek()[1] == value:
@@ -100,36 +125,78 @@ class _Tokens:
             return True
         return False
 
+    def last_end(self) -> int:
+        """End offset of the most recently consumed token."""
+        if self.index == 0:
+            return 0
+        kind, text, pos = self.items[self.index - 1]
+        return pos + len(text)
 
-def parse(text: str) -> Process:
-    """Parse *text* into a process term."""
+    def here(self) -> int:
+        """Start offset of the next token (end of text at eof)."""
+        return self.peek()[2]
+
+
+def parse(text: str, *, spans: SpanTable | None = None) -> Process:
+    """Parse *text* into a process term.
+
+    When *spans* is given (a :class:`~repro.core.spans.SpanTable`), it is
+    populated with the source span of every subterm occurrence, keyed by
+    occurrence path; the table's ``source`` is set to *text*.
+    """
     toks = _Tokens(text)
-    p = _parse_par(toks)
+    p, snode = _parse_par(toks)
     kind, tok, pos = toks.peek()
     if kind != "eof":
         raise ParseError(f"unexpected trailing input {tok!r}", text, pos)
+    if spans is not None:
+        spans.source = text
+        _assign_spans(p, snode, (), spans)
     return p
 
 
-def _parse_par(toks: _Tokens) -> Process:
+def parse_with_spans(text: str) -> tuple[Process, SpanTable]:
+    """Parse *text*, returning the term plus its populated span table."""
+    table = SpanTable()
+    return parse(text, spans=table), table
+
+
+def _assign_spans(p: Process, snode: _SNode, path: tuple[int, ...],
+                  table: SpanTable) -> None:
+    start, end, children = snode
+    table.set(path, Span(start, end))
+    kids = list(p.children())
+    if len(kids) != len(children):  # pragma: no cover - parser invariant
+        raise RuntimeError(
+            f"span tree out of sync at {path}: {len(kids)} process children "
+            f"vs {len(children)} span children")
+    for i, (kid, ksnode) in enumerate(zip(kids, children)):
+        _assign_spans(kid, ksnode, path + (i,), table)
+
+
+def _parse_par(toks: _Tokens) -> tuple[Process, _SNode]:
     # Right-associative, matching the builders and the pretty printer.
-    left = _parse_sum(toks)
+    left, lsp = _parse_sum(toks)
     if toks.accept("|") or toks.accept("||"):
-        return Par(left, _parse_par(toks))
-    return left
+        right, rsp = _parse_par(toks)
+        return Par(left, right), (lsp[0], rsp[1], (lsp, rsp))
+    return left, lsp
 
 
-def _parse_sum(toks: _Tokens) -> Process:
-    left = _parse_factor(toks)
+def _parse_sum(toks: _Tokens) -> tuple[Process, _SNode]:
+    left, lsp = _parse_factor(toks)
     if toks.accept("+"):
-        return Sum(left, _parse_sum(toks))
-    return left
+        right, rsp = _parse_sum(toks)
+        return Sum(left, right), (lsp[0], rsp[1], (lsp, rsp))
+    return left, lsp
 
 
-def _parse_cont(toks: _Tokens) -> Process:
+def _parse_cont(toks: _Tokens) -> tuple[Process, _SNode]:
     if toks.accept("."):
         return _parse_factor(toks)
-    return NIL
+    # Implicit nil continuation: a zero-width span at the current offset.
+    here = toks.last_end()
+    return NIL, (here, here, ())
 
 
 def _channel(name: str, toks: _Tokens, pos: int) -> str:
@@ -156,19 +223,21 @@ def _parse_names(toks: _Tokens, closer: str) -> tuple[str, ...]:
         toks.expect(",")
 
 
-def _parse_factor(toks: _Tokens) -> Process:
+def _parse_factor(toks: _Tokens) -> tuple[Process, _SNode]:
     kind, tok, pos = toks.next()
+    tok_end = pos + len(tok)
     if tok in ("0", "nil"):
-        return NIL
+        return NIL, (pos, tok_end, ())
     if tok == "tau":
-        return Tau(_parse_cont(toks))
+        cont, csp = _parse_cont(toks)
+        return Tau(cont), (pos, max(tok_end, csp[1]), (csp,))
     if tok == "nu":
         # `nu` binds exactly one name; write `nu x nu y p` for several.
         k2, n2, p2 = toks.next()
         if k2 != "name":
             raise ParseError(f"nu needs a name, found {n2!r}", toks.text, p2)
-        body = _parse_factor(toks)
-        return Restrict(_channel(n2, toks, p2), body)
+        body, bsp = _parse_factor(toks)
+        return Restrict(_channel(n2, toks, p2), body), (pos, bsp[1], (bsp,))
     if tok == "rec":
         return _parse_rec_sugar(toks, pos)
     if tok == "[":
@@ -187,19 +256,25 @@ def _parse_factor(toks: _Tokens) -> Process:
                              toks.text, p2)
         toks.expect("]")
         toks.expect("{")
-        then = _parse_par(toks)
+        then, tsp = _parse_par(toks)
         toks.expect("}")
-        orelse = NIL
+        end = toks.last_end()
+        orelse: Process = NIL
+        osp: _SNode = (end, end, ())
         if toks.accept("{"):
-            orelse = _parse_par(toks)
+            orelse, osp = _parse_par(toks)
             toks.expect("}")
+            end = toks.last_end()
         if negated:
             then, orelse = orelse, then
-        return Match(_channel(left, toks, p1), _channel(right, toks, p2),
-                     then, orelse)
+            tsp, osp = osp, tsp
+        return (Match(_channel(left, toks, p1), _channel(right, toks, p2),
+                      then, orelse),
+                (pos, end, (tsp, osp)))
     if tok == "(":
-        inner = _parse_par(toks)
+        inner, isp = _parse_par(toks)
         toks.expect(")")
+        end = toks.last_end()
         if toks.peek()[1] == "<":
             # Application of a rec abstraction: an unapplied `rec X(x). P`
             # parses with args == params (see _parse_rec_sugar).
@@ -212,32 +287,44 @@ def _parse_factor(toks: _Tokens) -> Process:
                 raise ParseError(
                     f"rec {inner.ident} expects {len(inner.params)} arguments,"
                     f" got {len(args)}", toks.text, toks.peek()[2])
-            return Rec(inner.ident, inner.params, inner.body, args)
-        return inner
+            applied = Rec(inner.ident, inner.params, inner.body, args)
+            return applied, (pos, toks.last_end(), isp[2])
+        # A parenthesised process keeps its children but widens to the parens.
+        return inner, (pos, end, isp[2])
     if kind == "name":
         if tok[0].isupper():  # identifier occurrence
             if toks.accept("<"):
                 args = _parse_names(toks, ">")
-                return Ident(tok, args)
-            return Ident(tok, ())
+                return Ident(tok, args), (pos, toks.last_end(), ())
+            return Ident(tok, ()), (pos, tok_end, ())
         chan = _channel(tok, toks, pos)
         if toks.accept("?"):
-            return Input(chan, (), _parse_cont(toks))
+            cont, csp = _parse_cont(toks)
+            return Input(chan, (), cont), (pos, max(toks.last_end(), csp[1]),
+                                           (csp,))
         if toks.accept("!"):
-            return Output(chan, (), _parse_cont(toks))
+            cont, csp = _parse_cont(toks)
+            return Output(chan, (), cont), (pos, max(toks.last_end(), csp[1]),
+                                            (csp,))
         if toks.accept("("):
             params = _parse_names(toks, ")")
-            return Input(chan, params, _parse_cont(toks))
+            cont, csp = _parse_cont(toks)
+            return Input(chan, params, cont), (pos,
+                                               max(toks.last_end(), csp[1]),
+                                               (csp,))
         if toks.accept("<"):
             args = _parse_names(toks, ">")
-            return Output(chan, args, _parse_cont(toks))
+            cont, csp = _parse_cont(toks)
+            return Output(chan, args, cont), (pos,
+                                              max(toks.last_end(), csp[1]),
+                                              (csp,))
         raise ParseError(
             f"channel {chan!r} must be followed by ?, !, (params) or <args>",
             toks.text, pos)
     raise ParseError(f"unexpected token {tok or 'end of input'!r}", toks.text, pos)
 
 
-def _parse_rec_sugar(toks: _Tokens, pos: int) -> Process:
+def _parse_rec_sugar(toks: _Tokens, pos: int) -> tuple[Process, _SNode]:
     """Parse ``rec X(x, y). P``  or  ``rec X(x := a, y := b). P``.
 
     The un-sugared form (plain parameters, no ``:=``) yields a rec
@@ -276,10 +363,11 @@ def _parse_rec_sugar(toks: _Tokens, pos: int) -> Process:
                 break
             toks.expect(",")
     toks.expect(".")
-    body = _parse_par(toks)
+    body, bsp = _parse_par(toks)
+    snode: _SNode = (pos, bsp[1], (bsp,))
     if sugared:
-        return Rec(ident, tuple(params), body, tuple(args))
+        return Rec(ident, tuple(params), body, tuple(args)), snode
     # Unapplied abstraction: args left empty, caller must apply `<...>`.
     if params:
-        return Rec(ident, tuple(params), body, tuple(params))
-    return Rec(ident, (), body, ())
+        return Rec(ident, tuple(params), body, tuple(params)), snode
+    return Rec(ident, (), body, ()), snode

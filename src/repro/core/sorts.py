@@ -38,7 +38,18 @@ from .syntax import (
 
 
 class SortError(ValueError):
-    """A channel is used at incompatible shapes."""
+    """A channel is used at incompatible shapes.
+
+    ``path`` (when set) is the occurrence path — child indices from the
+    root, :meth:`~repro.core.syntax.Process.children` order — of the
+    subterm whose constraint first exposed the inconsistency.  The
+    diagnostics layer (:mod:`repro.lint`) joins it against the parser's
+    span table to point at the offending source text.
+    """
+
+    def __init__(self, message: str, *, path: "tuple[int, ...] | None" = None):
+        super().__init__(message)
+        self.path = path
 
 
 @dataclass
@@ -132,57 +143,72 @@ def _describe(var: SortVar, seen: set[int]) -> str:
 
 
 def infer_sorts(p: Process) -> SortTable:
-    """Infer channel sorts for *p*; raises :class:`SortError` if ill-sorted."""
+    """Infer channel sorts for *p*; raises :class:`SortError` if ill-sorted.
+
+    The walk tracks occurrence paths (children() order), so a raised
+    :class:`SortError` carries the ``path`` of the subterm whose
+    constraint exposed the inconsistency.
+    """
     table = SortTable()
 
-    def walk(q: Process, env: dict[Name, SortVar]) -> None:
+    def walk(q: Process, env: dict[Name, SortVar],
+             path: tuple[int, ...]) -> None:
         def var_of(n: Name) -> SortVar:
             return env.get(n) or table.of(n)
 
-        if isinstance(q, Nil):
-            return
-        if isinstance(q, Tau):
-            walk(q.cont, env)
-        elif isinstance(q, Input):
-            params = {x: table.fresh(origin=f"param {x!r}") for x in q.params}
-            table.constrain_channel(var_of(q.chan), list(params.values()),
-                                    f"input on {q.chan!r}")
-            walk(q.cont, {**env, **params})
-        elif isinstance(q, Output):
-            table.constrain_channel(var_of(q.chan),
-                                    [var_of(a) for a in q.args],
-                                    f"output on {q.chan!r}")
-            walk(q.cont, env)
-        elif isinstance(q, Restrict):
-            inner = {**env, q.name: table.fresh(origin=f"nu {q.name!r}")}
-            walk(q.body, inner)
-        elif isinstance(q, Match):
-            # matched names must be identifiable: unify their sorts
-            table.unify(var_of(q.left), var_of(q.right),
-                        f"match [{q.left}={q.right}]")
-            walk(q.then, env)
-            walk(q.orelse, env)
-        elif isinstance(q, (Sum, Par)):
-            walk(q.left, env)
-            walk(q.right, env)
-        elif isinstance(q, Rec):
-            params = {x: table.fresh(origin=f"rec param {x!r}")
-                      for x in q.params}
-            for x, a in zip(q.params, q.args):
-                table.unify(params[x], var_of(a), f"rec arg {a!r}")
-            walk(q.body, {**env, **params})
-        elif isinstance(q, Ident):
-            # occurrences inside a rec body: the paper requires the args to
-            # be (a permutation of a subset of) the parameters; their sorts
-            # are already in scope.  Cross-unify positionally with the
-            # enclosing rec is done at the Rec node via args; here we only
-            # touch the occurrence's own names.
-            for a in q.args:
-                var_of(a)
-        else:
-            raise TypeError(type(q).__name__)
+        try:
+            if isinstance(q, Nil):
+                return
+            if isinstance(q, Tau):
+                walk(q.cont, env, path + (0,))
+            elif isinstance(q, Input):
+                params = {x: table.fresh(origin=f"param {x!r}")
+                          for x in q.params}
+                table.constrain_channel(var_of(q.chan), list(params.values()),
+                                        f"input on {q.chan!r}")
+                walk(q.cont, {**env, **params}, path + (0,))
+            elif isinstance(q, Output):
+                table.constrain_channel(var_of(q.chan),
+                                        [var_of(a) for a in q.args],
+                                        f"output on {q.chan!r}")
+                walk(q.cont, env, path + (0,))
+            elif isinstance(q, Restrict):
+                inner = {**env, q.name: table.fresh(origin=f"nu {q.name!r}")}
+                walk(q.body, inner, path + (0,))
+            elif isinstance(q, Match):
+                # matched names must be identifiable: unify their sorts
+                table.unify(var_of(q.left), var_of(q.right),
+                            f"match [{q.left}={q.right}]")
+                walk(q.then, env, path + (0,))
+                walk(q.orelse, env, path + (1,))
+            elif isinstance(q, (Sum, Par)):
+                walk(q.left, env, path + (0,))
+                walk(q.right, env, path + (1,))
+            elif isinstance(q, Rec):
+                params = {x: table.fresh(origin=f"rec param {x!r}")
+                          for x in q.params}
+                for x, a in zip(q.params, q.args):
+                    table.unify(params[x], var_of(a), f"rec arg {a!r}")
+                walk(q.body, {**env, **params}, path + (0,))
+            elif isinstance(q, Ident):
+                # occurrences inside a rec body: the paper requires the args
+                # to be (a permutation of a subset of) the parameters; their
+                # sorts are already in scope.  Cross-unify positionally with
+                # the enclosing rec is done at the Rec node via args; here we
+                # only touch the occurrence's own names.
+                for a in q.args:
+                    var_of(a)
+            else:
+                raise TypeError(type(q).__name__)
+        except SortError as exc:
+            # Attach the innermost path at which the inconsistency surfaced
+            # (the recursive re-raise would otherwise overwrite it with an
+            # enclosing, less precise path).
+            if exc.path is None:
+                exc.path = path
+            raise
 
-    walk(p, {})
+    walk(p, {}, ())
     return table
 
 

@@ -1,0 +1,102 @@
+"""Source spans for parsed terms, keyed by occurrence path.
+
+Process terms are hash-consed (:mod:`repro.core.syntax`), so two textual
+occurrences of the same subterm are the *same* object — a source location
+can therefore never live on the node itself.  Instead the parser emits a
+side table mapping **occurrence paths** to spans:
+
+* an occurrence path is the tuple of child indices walked from the root
+  (indices follow :meth:`Process.children` order, e.g. ``(1, 0)`` is
+  "second child's first child");
+* a :class:`Span` is a half-open ``[start, end)`` interval of offsets
+  into the original source text.
+
+:class:`SpanTable` also keeps the source text, so diagnostics can render
+line/column positions and a caret-underlined context line — the same
+rendering :class:`~repro.core.parser.ParseError` uses for parse failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: An occurrence path: child indices from the root, children() order.
+Path = tuple[int, ...]
+
+
+def line_col(text: str, pos: int) -> tuple[int, int]:
+    """1-based (line, column) of offset *pos* in *text*."""
+    pos = max(0, min(pos, len(text)))
+    line = text.count("\n", 0, pos) + 1
+    col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+    return line, col
+
+
+def caret_context(text: str, pos: int, end: int | None = None) -> str:
+    """The source line containing *pos* with a caret underline.
+
+    ``end`` (exclusive, clamped to the same line) widens the underline
+    from a single ``^`` to ``^~~~`` covering the span.  Returns two
+    lines joined by a newline; tabs in the prefix are preserved so the
+    caret stays aligned.
+    """
+    pos = max(0, min(pos, len(text)))
+    start_of_line = text.rfind("\n", 0, pos) + 1
+    end_of_line = text.find("\n", pos)
+    if end_of_line == -1:
+        end_of_line = len(text)
+    line = text[start_of_line:end_of_line]
+    col = pos - start_of_line
+    prefix = "".join(ch if ch == "\t" else " " for ch in line[:col])
+    width = 1
+    if end is not None and end > pos:
+        width = min(end, end_of_line) - pos
+        width = max(width, 1)
+    underline = "^" + "~" * (width - 1)
+    return f"{line}\n{prefix}{underline}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open offset interval ``[start, end)`` into the source text."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"backwards span [{self.start}, {self.end})")
+
+
+@dataclass
+class SpanTable:
+    """Occurrence path -> :class:`Span`, plus the source it indexes.
+
+    Produced by :func:`repro.core.parser.parse_with_spans`; consumed by
+    the diagnostics layer (:mod:`repro.lint`) to position findings in
+    the original text.
+    """
+
+    source: str = ""
+    by_path: dict[Path, Span] = field(default_factory=dict)
+
+    def set(self, path: Path, span: Span) -> None:
+        self.by_path[path] = span
+
+    def get(self, path: Path) -> Span | None:
+        return self.by_path.get(path)
+
+    def __len__(self) -> int:
+        return len(self.by_path)
+
+    def line_col(self, span: Span) -> tuple[int, int]:
+        """1-based (line, column) of the span's start."""
+        return line_col(self.source, span.start)
+
+    def context(self, span: Span) -> str:
+        """The span's source line with a caret/tilde underline."""
+        return caret_context(self.source, span.start, span.end)
+
+    def text(self, span: Span) -> str:
+        """The raw source slice the span covers."""
+        return self.source[span.start:span.end]

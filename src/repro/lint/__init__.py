@@ -1,0 +1,45 @@
+"""``repro.lint`` — static analysis for bpi process terms.
+
+The paper's calculus only works under static side conditions it never
+mechanises: well-sortedness (Table 2's input/discard dichotomy breaks if
+one channel carries two arities), weak guardedness of recursion (the
+Tables 6-8 axiomatisation's side condition), and the "noisy" broadcast
+semantics in which a send fires even with zero listeners — a rich source
+of silent modelling bugs.  This package turns those side conditions into
+a diagnostics layer:
+
+* :class:`~repro.lint.diagnostics.Diagnostic` — code, severity, message
+  and location (occurrence path + source span);
+* six built-in passes, ``BP101`` … ``BP302``
+  (:mod:`repro.lint.passes` has the full catalogue);
+* :func:`~repro.lint.engine.run_lint` — the driver, returning a
+  :class:`~repro.lint.diagnostics.LintReport`;
+* :func:`~repro.lint.corpus.corpus` — every apps/examples term, linted
+  in CI so the paper's worked examples stay clean.
+
+Typical use goes through the facade or the CLI::
+
+    import repro
+    report = repro.lint("nu x x!.0")
+    print(report.format_text())        # BP201 warning + caret excerpt
+
+    python -m repro lint "nu x x!.0"   # exit 1, findings on stdout
+
+Locations are **occurrence paths** (child indices from the root) with a
+side :class:`~repro.core.spans.SpanTable` — terms are hash-consed, so a
+span can never live on the node itself.  See docs/static_analysis.md.
+"""
+
+from __future__ import annotations
+
+from .corpus import corpus, corpus_names
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import run_lint, selected_passes
+from .passes import PASS_REGISTRY, LintPass, lint_pass
+
+__all__ = [
+    "Diagnostic", "LintReport", "Severity",
+    "run_lint", "selected_passes",
+    "PASS_REGISTRY", "LintPass", "lint_pass",
+    "corpus", "corpus_names",
+]

@@ -1,0 +1,116 @@
+"""The lint corpus: every term the apps and examples build.
+
+CI lints these (``python -m repro lint --corpus``) so the paper's worked
+examples stay clean as the analyzer grows; :mod:`benchmarks.report`
+reuses the same list to track analyzer cost over a realistic term mix
+(the ``lint`` block of ``BENCH_report.json``).
+
+Entries are built lazily — :func:`corpus` constructs each term on call —
+and cover all six ``repro.apps`` systems plus the distinctive parsed
+terms of the ``examples/`` scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.parser import parse
+from ..core.syntax import Process
+
+#: name -> zero-argument term builder.
+_BUILDERS: dict[str, Callable[[], Process]] = {}
+
+
+_Builder = Callable[[], Process]
+
+
+def _entry(name: str) -> Callable[[_Builder], _Builder]:
+    def register(fn: _Builder) -> _Builder:
+        _BUILDERS[name] = fn
+        return fn
+    return register
+
+
+# -- apps -------------------------------------------------------------------
+
+@_entry("apps.cycle_detection.triangle")
+def _cycle_triangle() -> Process:
+    from ..apps.cycle_detection import prefed_system
+    return prefed_system([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+@_entry("apps.cycle_detection.fed")
+def _cycle_fed() -> Process:
+    from ..apps.cycle_detection import build_system
+    return build_system([("a", "b"), ("b", "a")])
+
+
+@_entry("apps.pubsub.network")
+def _pubsub() -> Process:
+    from ..apps.pubsub import network
+    return network(["m1", "m2"], ["d1", "d2"])
+
+
+@_entry("apps.pvm.groups")
+def _pvm() -> Process:
+    from ..apps.pvm import Bcast, Emit, JoinGroup, Receive, machine
+    return machine({
+        "m1": [JoinGroup("grp"), Receive("x"), Emit("seen1", "x")],
+        "m2": [JoinGroup("grp"), Receive("x"), Emit("seen2", "x")],
+        "snd": [Bcast("grp", "news")],
+    })
+
+
+@_entry("apps.radio.reliable")
+def _radio_reliable() -> Process:
+    from ..apps.radio import reliable_network
+    return reliable_network("v", ["d1", "d2"])
+
+
+@_entry("apps.radio.unreliable")
+def _radio_unreliable() -> Process:
+    from ..apps.radio import unreliable_network
+    return unreliable_network("v", ["d1"])
+
+
+@_entry("apps.ram.add")
+def _ram() -> Process:
+    from ..apps.ram import encode, program_add
+    return encode(program_add("x", "y", "s"), {"x": 2, "y": 3})
+
+
+@_entry("apps.transactions.cross_cycle")
+def _transactions() -> Process:
+    from ..apps.transactions import Transaction as T, build_system
+    return build_system([T("t1", "r", "j", "p1"), T("t2", "w", "j", "p2"),
+                         T("t2", "r", "k", "p2"), T("t1", "w", "k", "p1")])
+
+
+# -- examples ---------------------------------------------------------------
+
+_EXAMPLE_SOURCES = {
+    "examples.quickstart.match": "nu v (b<v> | a(w).[w=v]{o!}{b<w>})",
+    "examples.quickstart.broadcast":
+        "chan<msg> | chan(x).x! | chan(y).y! | other(z).z!",
+    "examples.quickstart.extrusion": "nu tok (a<tok> | a(x).x? | a(y).y?)",
+    "examples.quickstart.counter":
+        "rec X(c := up). c?.(x! | X<c>)",
+    "examples.s6.internal_choice": "a!.(b! + c!)",
+    "examples.s6.external_choice": "a!.b! + a!.c!",
+}
+
+def _example(src: str) -> _Builder:
+    return lambda: parse(src)
+
+
+for _name, _src in _EXAMPLE_SOURCES.items():
+    _BUILDERS[_name] = _example(_src)
+
+
+def corpus() -> list[tuple[str, Process]]:
+    """Build and return every corpus term as ``(name, term)`` pairs."""
+    return [(name, _BUILDERS[name]()) for name in sorted(_BUILDERS)]
+
+
+def corpus_names() -> list[str]:
+    return sorted(_BUILDERS)

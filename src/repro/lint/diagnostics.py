@@ -1,0 +1,140 @@
+"""Diagnostic records and lint reports.
+
+A :class:`Diagnostic` is one finding of one pass: a stable ``BPxxx``
+code, a :class:`Severity`, a human message, the **occurrence path** of
+the offending subterm (child indices from the root, ``children()``
+order — terms are hash-consed, so the path *is* the location) and, when
+the term came from source text, the resolved
+:class:`~repro.core.spans.Span`.
+
+A :class:`LintReport` is the result of one lint run: the ordered
+findings plus per-pass wall-clock timings, renderable as annotated text
+(with caret-underlined source excerpts) or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.spans import Span, SpanTable
+from ..core.syntax import Process
+
+#: Occurrence path (see repro.core.spans).
+Path = tuple[int, ...]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering follows gravity (ERROR > WARNING > INFO)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: code, severity, message, and where."""
+
+    code: str
+    severity: Severity
+    message: str
+    path: Path = ()
+    span: Span | None = None
+
+    def sort_key(self) -> tuple[int, Path, str]:
+        start = self.span.start if self.span is not None else -1
+        return (start, self.path, self.code)
+
+    def format(self, spans: SpanTable | None = None) -> str:
+        """Render the finding, with a source excerpt when spans exist."""
+        head = f"{self.code} {self.severity.label}: {self.message}"
+        if self.span is None or spans is None:
+            if self.path:
+                head += f"  [at path {','.join(map(str, self.path))}]"
+            return head
+        line, col = spans.line_col(self.span)
+        excerpt = "\n".join("    " + ln
+                            for ln in spans.context(self.span).splitlines())
+        return f"{head}\n  --> line {line}, column {col}\n{excerpt}"
+
+    def to_json(self, spans: SpanTable | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "path": list(self.path),
+        }
+        if self.span is not None:
+            payload["span"] = {"start": self.span.start, "end": self.span.end}
+            if spans is not None:
+                line, col = spans.line_col(self.span)
+                payload["line"], payload["column"] = line, col
+                payload["excerpt"] = spans.text(self.span)
+        return payload
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found (and how long each pass took)."""
+
+    term: Process
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    spans: SpanTable | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings at all."""
+        return not self.diagnostics
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    def counts(self) -> dict[str, int]:
+        """Findings per code (zero-count codes omitted)."""
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        if self.ok:
+            return "clean: no findings"
+        parts = []
+        for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+            n = len(self.by_severity(sev))
+            if n:
+                parts.append(f"{n} {sev.label}{'s' if n != 1 else ''}")
+        return ", ".join(parts)
+
+    def format_text(self) -> str:
+        """The findings as annotated text, one block per diagnostic."""
+        blocks = [d.format(self.spans) for d in self.diagnostics]
+        blocks.append(self.summary())
+        return "\n".join(blocks)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_json(self.spans) for d in self.diagnostics],
+            "timings": dict(self.timings),
+        }

@@ -1,0 +1,95 @@
+"""The lint driver: pass selection, execution, reporting.
+
+:func:`run_lint` runs the registered passes (:mod:`repro.lint.passes`)
+over one term, resolves occurrence paths against an optional span table
+and returns a :class:`~repro.lint.diagnostics.LintReport`.  Each pass
+executes inside an ``obs`` span (``lint.BPxxx``) and bumps the
+``lint.findings`` counter, so ``--trace``/``--metrics`` show where
+analysis time goes (see docs/observability.md).
+
+Selection
+---------
+``select`` / ``ignore`` take iterables of code *prefixes* — ``"BP1"``
+selects BP101 and BP102, ``"BP201"`` exactly BP201.  ``ignore`` wins
+over ``select``; a selector matching no registered pass raises
+``ValueError`` (catching typos beats silently linting with nothing).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from .. import obs
+from ..core.spans import SpanTable
+from ..core.syntax import Process
+from .diagnostics import Diagnostic, LintReport, Severity
+from .passes import PASS_REGISTRY, LintPass
+
+_SEVERITY_BY_NAME = {
+    "error": Severity.ERROR,
+    "warning": Severity.WARNING,
+    "info": Severity.INFO,
+}
+
+
+def _as_prefixes(value: "str | Iterable[str] | None") -> tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        value = value.split(",")
+    return tuple(v.strip() for v in value if v.strip())
+
+
+def selected_passes(select: "str | Iterable[str] | None" = None,
+                    ignore: "str | Iterable[str] | None" = None,
+                    ) -> list[LintPass]:
+    """The registered passes filtered by select/ignore code prefixes."""
+    want = _as_prefixes(select)
+    drop = _as_prefixes(ignore)
+    codes = sorted(PASS_REGISTRY)
+    for prefix in want + drop:
+        if not any(c.startswith(prefix) for c in codes):
+            raise ValueError(
+                f"selector {prefix!r} matches no registered pass "
+                f"(known: {', '.join(codes)})")
+    out = []
+    for code in codes:
+        if want and not any(code.startswith(p) for p in want):
+            continue
+        if any(code.startswith(p) for p in drop):
+            continue
+        out.append(PASS_REGISTRY[code])
+    return out
+
+
+def run_lint(term: Process, *,
+             spans: SpanTable | None = None,
+             select: "str | Iterable[str] | None" = None,
+             ignore: "str | Iterable[str] | None" = None) -> LintReport:
+    """Run the (selected) passes over *term* and collect a report.
+
+    Passes are pure syntactic analyses: the term is never mutated, no
+    new nodes are interned, no recursion is unfolded.  *spans* (from
+    :func:`repro.core.parser.parse_with_spans`) positions findings in
+    the original source.
+    """
+    diagnostics: list[Diagnostic] = []
+    timings: dict[str, float] = {}
+    for p in selected_passes(select, ignore):
+        severity = _SEVERITY_BY_NAME[p.severity]
+        t0 = time.perf_counter()
+        with obs.span(f"lint.{p.code}", title=p.title) as sp:
+            n_before = len(diagnostics)
+            for path, message in p.fn(term):
+                span = spans.get(path) if spans is not None else None
+                diagnostics.append(
+                    Diagnostic(p.code, severity, message, path, span))
+            found = len(diagnostics) - n_before
+            sp.set(findings=found)
+        timings[p.code] = time.perf_counter() - t0
+        if obs.STATE.enabled and found:
+            obs.inc("lint.findings", found)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintReport(term=term, diagnostics=diagnostics, spans=spans,
+                      timings=timings)

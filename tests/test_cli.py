@@ -1,6 +1,6 @@
 """Tests for the command-line interface (python -m repro ...)."""
 
-import pytest
+import json
 
 from repro.__main__ import main
 
@@ -54,7 +54,66 @@ class TestCli:
                      "--minimize"]) == 0
         assert "B0" in capsys.readouterr().out
 
-    def test_bad_syntax_raises(self):
-        from repro.core.parser import ParseError
-        with pytest.raises(ParseError):
-            main(["steps", "a! +"])
+    def test_bad_syntax_exits_2_with_caret(self, capsys):
+        # parse failures are reported, not raised: message + caret excerpt
+        # on stderr, exit status 2 (the "no verdict" code)
+        assert main(["steps", "a! +"]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "line 1, column 5" in err
+        assert "a! +" in err
+        caret_line = err.splitlines()[-1]
+        assert caret_line.strip() == "^"
+        # the caret sits under the failing column (offset 4 in "a! +",
+        # +2 for the stderr indent)
+        assert caret_line.index("^") == 2 + 4
+
+    def test_bad_syntax_multiline_points_at_line(self, capsys):
+        assert main(["canon", "a!.b! |\nnu x (x! +"]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "nu x (x! +" in err
+
+
+class TestCliLint:
+    def test_clean_term_exits_0(self, capsys):
+        assert main(["lint", "a(x).x!"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1_with_excerpt(self, capsys):
+        assert main(["lint", "nu x x!.0"]) == 1
+        out = capsys.readouterr().out
+        assert "BP201" in out and "deaf broadcast" in out
+        assert "line 1, column 6" in out
+        assert "^" in out          # caret excerpt rendered
+        assert "1 warning" in out
+
+    def test_parse_failure_exits_2(self, capsys):
+        assert main(["lint", "nu x ("]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "nu x x!", "--select", "BP1"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "nu x x!", "--ignore", "BP201,BP302"]) == 0
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json", "rec X(). X"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"BP101": 1}
+        (diag,) = payload["diagnostics"]
+        assert diag["severity"] == "error"
+        assert diag["line"] == 1 and diag["excerpt"] == "X"
+        assert set(payload["timings"]) == {
+            "BP101", "BP102", "BP201", "BP202", "BP301", "BP302"}
+
+    def test_corpus_is_clean(self, capsys):
+        assert main(["lint", "--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "14/14 clean" in out.splitlines()[-1]
+
+    def test_corpus_rejects_positional_term(self, capsys):
+        assert main(["lint", "--corpus", "a!"]) == 2
+
+    def test_missing_term_exits_2(self, capsys):
+        assert main(["lint"]) == 2

@@ -1,0 +1,192 @@
+"""tools/check_contracts.py — the two-layer engine contract, enforced.
+
+Raw explorers re-raise BudgetExceeded (with partials attached);
+verdict-level checkers convert it to UNKNOWN.  These tests pin the
+checker's judgement on synthetic offenders and keep the live tree clean.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_contracts", REPO / "tools" / "check_contracts.py")
+cc = importlib.util.module_from_spec(_spec)
+sys.modules["check_contracts"] = cc  # dataclasses resolves __module__
+_spec.loader.exec_module(cc)
+
+
+def codes(src: str) -> list[str]:
+    return [v.rule for v in cc.check_source(src)]
+
+
+# -- Rule A: except BudgetExceeded must re-raise or return Verdicts ---------
+
+def test_swallowing_pass_is_flagged():
+    assert codes("""
+def f():
+    try:
+        g()
+    except BudgetExceeded:
+        pass
+""") == ["swallowed-trip"]
+
+
+def test_returning_non_verdict_is_flagged():
+    assert codes("""
+def f():
+    try:
+        g()
+    except BudgetExceeded as exc:
+        return exc.partial
+""") == ["swallowed-trip"]
+
+
+def test_reraise_with_partial_is_clean():
+    assert codes("""
+def build(p):
+    try:
+        loop()
+    except (BudgetExceeded, ValueError) as exc:
+        exc.partial = acc
+        raise
+""") == []
+
+
+def test_verdict_conversion_is_clean():
+    assert codes("""
+def check(p) -> Verdict:
+    try:
+        flag = run(p)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag)
+""") == []
+
+
+def test_mixed_verdict_returns_are_clean():
+    # the runtime/analysis pattern: salvage a refutation from the partial,
+    # else degrade — every return is still a Verdict
+    assert codes("""
+def check(p) -> Verdict:
+    try:
+        flag = run(p)
+    except BudgetExceeded as exc:
+        for s in (exc.partial or ()):
+            if bad(s):
+                return Verdict.of(False, evidence=s)
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag)
+""") == []
+
+
+def test_legacy_alias_is_covered():
+    assert codes("""
+def f():
+    try:
+        g()
+    except StateSpaceExceeded:
+        return 0
+""") == ["swallowed-trip"]
+
+
+def test_nested_def_inside_handler_does_not_count_as_raise():
+    assert codes("""
+def f():
+    try:
+        g()
+    except BudgetExceeded:
+        def h():
+            raise ValueError
+        return h
+""") == ["swallowed-trip"]
+
+
+# -- Rule B: -> Verdict functions wrap raw explorer calls -------------------
+
+def test_unguarded_explorer_is_flagged():
+    assert codes("""
+def check(p) -> Verdict:
+    lts, root = build_step_lts(p)
+    return Verdict.of(True)
+""") == ["unguarded-explorer"]
+
+
+def test_guarded_explorer_is_clean():
+    assert codes("""
+def check(p) -> Verdict:
+    try:
+        graph, roots = build_reduction_graph((p,), steps=True)
+        block = coarsest_partition(graph, keys)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(True)
+""") == []
+
+
+def test_try_inside_with_is_recognised():
+    # the equiv/labelled.py shape: span context manager around the try
+    assert codes("""
+def check(p) -> Verdict:
+    with span("equiv") as sp:
+        try:
+            flag = solve_game(p, moves)
+        except BudgetExceeded as exc:
+            return Verdict.from_exceeded(exc)
+    return Verdict.of(flag)
+""") == []
+
+
+def test_try_else_clause_is_outside_the_handler():
+    assert codes("""
+def check(p) -> Verdict:
+    try:
+        x = 1
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    else:
+        states = reachable_states(p)
+    return Verdict.of(True)
+""") == ["unguarded-explorer"]
+
+
+def test_non_verdict_function_not_subject_to_rule_b():
+    assert codes("""
+def helper(p):
+    return build_step_lts(p)
+""") == []
+
+
+def test_explorer_in_nested_def_is_deferred():
+    assert codes("""
+def check(p) -> Verdict:
+    def thunk():
+        return build_step_lts(p)
+    try:
+        flag = run(thunk)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag)
+""") == []
+
+
+def test_string_annotation_counts():
+    assert codes("""
+def check(p) -> "Verdict":
+    states = reachable_states(p)
+    return Verdict.of(True)
+""") == ["unguarded-explorer"]
+
+
+# -- the live tree ----------------------------------------------------------
+
+def test_src_repro_is_contract_clean():
+    files = cc.iter_files([REPO / "src" / "repro"])
+    assert files, "expected python files under src/repro"
+    violations = [v for f in files for v in cc.check_file(f)]
+    assert violations == [], "\n".join(map(str, violations))
+
+
+def test_cli_exit_status():
+    assert cc.main([str(REPO / "src" / "repro")]) == 0

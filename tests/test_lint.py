@@ -1,0 +1,219 @@
+"""The static analyzer: witnesses per BP code, golden output, purity.
+
+Three layers of coverage:
+
+* **minimal witnesses** — for each registered code, one smallest term
+  that fires exactly that code (and clean near-misses that must not);
+* **golden files** (``tests/golden/lint/BPxxx.txt``) — the full rendered
+  report, caret excerpts included, pinned byte-for-byte;
+* a **Hypothesis purity property** — linting is read-only: it interns no
+  new nodes and leaves every memoized slot on every subterm untouched
+  (the kernel's ``cache_stats()`` as oracle).
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import lint
+from repro.core.cache import cache_stats
+from repro.core.parser import parse
+from repro.core.syntax import _NODE_CACHE_SLOTS, Output, Process, Restrict
+from repro.lint import (
+    PASS_REGISTRY,
+    Severity,
+    corpus,
+    corpus_names,
+    run_lint,
+    selected_passes,
+)
+from tests.strategies import processes0, processes1
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "lint"
+
+#: For each code: one minimal witness firing exactly that code.
+WITNESSES = {
+    "BP101": "rec X(). X + a!",
+    "BP102": "a! | a(x).x!",
+    "BP201": "nu x x!.0",
+    "BP202": "nu a nu b [a=b]{c!}{d!}",
+    "BP301": "rec X(). tau.X",
+    "BP302": "nu x nu x x!.a<x>",
+}
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_registry_has_the_six_documented_passes():
+    assert sorted(PASS_REGISTRY) == [
+        "BP101", "BP102", "BP201", "BP202", "BP301", "BP302"]
+    assert {p.severity for p in PASS_REGISTRY.values()} == {
+        "error", "warning", "info"}
+
+
+def test_selected_passes_prefix_semantics():
+    assert [p.code for p in selected_passes("BP1")] == ["BP101", "BP102"]
+    assert [p.code for p in selected_passes(None, "BP3")] == [
+        "BP101", "BP102", "BP201", "BP202"]
+    # ignore wins over select
+    assert [p.code for p in selected_passes("BP2", "BP201")] == ["BP202"]
+    assert [p.code for p in selected_passes(["BP101", "BP30"])] == [
+        "BP101", "BP301", "BP302"]
+
+
+def test_unknown_selector_raises():
+    with pytest.raises(ValueError, match="BP9"):
+        selected_passes("BP9")
+    with pytest.raises(ValueError, match="matches no registered pass"):
+        selected_passes(None, "XX")
+
+
+# -- witnesses: each code fires alone, on its minimal term ------------------
+
+@pytest.mark.parametrize("code,source", sorted(WITNESSES.items()))
+def test_witness_fires_exactly_its_code(code, source):
+    report = lint(source)
+    assert set(report.counts()) == {code}, report.format_text()
+    assert not report.ok
+
+
+@pytest.mark.parametrize("code,source", sorted(WITNESSES.items()))
+def test_witness_matches_golden(code, source):
+    expected = (GOLDEN / f"{code}.txt").read_text()
+    assert lint(source).format_text() + "\n" == expected
+
+
+def test_dead_else_branch_variant():
+    report = lint("[x=x]{a!}{b!}")
+    assert set(report.counts()) == {"BP202"}
+    (d,) = report.diagnostics
+    assert "dead else-branch" in d.message
+
+
+# -- clean near-misses: the boundary of each pass ---------------------------
+
+@pytest.mark.parametrize("source", [
+    "rec X(). a!.X",              # guarded: BP101/BP301 quiet
+    "rec X(). tau.a!.X",          # a visible action on the loop: no BP301
+    "a! | a? | b(y).y!",          # consistently sorted
+    "nu x (x! | x?.a!)",          # restricted but heard: no BP201
+    "nu x a<x>.x!",               # escapes as payload: listener may appear
+    "nu a [a=b]{c!}{d!}",         # only one side restricted: may match
+    "a(x).[x=x]{b!}",             # nil else: nothing dead to report
+    "nu x x?.a!",                 # discard-input on x counts as a listener
+    "a(x).a(x).x!",               # re-receive into same param: idiomatic
+    "rec X(c := up). c?.(x! | X<c>)",   # rec param shadows nothing
+])
+def test_clean_terms_stay_clean(source):
+    report = lint(source)
+    assert report.ok, report.format_text()
+
+
+# -- locations: spans and occurrence paths ----------------------------------
+
+def _subterm_at(p: Process, path: tuple[int, ...]) -> Process:
+    for i in path:
+        p = tuple(p.children())[i]
+    return p
+
+
+def test_bp201_span_covers_the_deaf_output():
+    report = lint("nu x x!.0")
+    (d,) = report.diagnostics
+    assert report.spans is not None
+    assert report.spans.text(d.span) == "x!.0"
+    assert d.path == (0,)
+
+
+def test_paths_resolve_without_a_span_table():
+    # lint a pre-built Process: no spans, but paths still locate the node
+    report = run_lint(parse("nu x x!.0"))
+    (d,) = report.diagnostics
+    assert d.span is None
+    node = _subterm_at(report.term, d.path)
+    assert isinstance(node, Output) and node.chan == "x"
+    assert "[at path 0]" in d.format()
+
+
+def test_bp302_shadow_points_at_the_inner_nu():
+    report = lint(WITNESSES["BP302"])
+    shadow = [d for d in report.diagnostics if "shadowed" in d.message]
+    (d,) = shadow
+    node = _subterm_at(report.term, d.path)
+    assert isinstance(node, Restrict) and node.name == "x"
+    assert d.path == (0,)
+
+
+# -- report API -------------------------------------------------------------
+
+def test_report_counts_and_severity_views():
+    report = lint("nu x x!.0 | rec X(). X")
+    assert report.counts() == {"BP101": 1, "BP201": 1}
+    assert [d.code for d in report.errors] == ["BP101"]
+    assert [d.code for d in report.warnings] == ["BP201"]
+    assert report.infos == []
+    assert report.summary() == "1 error, 1 warning"
+
+
+def test_report_json_shape():
+    payload = lint(WITNESSES["BP201"]).to_json()
+    assert payload["ok"] is False
+    (diag,) = payload["diagnostics"]
+    assert diag["code"] == "BP201"
+    assert diag["severity"] == "warning"
+    assert diag["line"] == 1 and diag["column"] == 6
+    assert diag["excerpt"] == "x!.0"
+    assert set(payload["timings"]) == set(PASS_REGISTRY)
+
+
+def test_select_ignore_through_the_facade():
+    assert lint(WITNESSES["BP201"], select="BP1").ok
+    assert lint(WITNESSES["BP201"], ignore="BP201").ok
+    assert not lint(WITNESSES["BP201"], select="BP2").ok
+
+
+# -- purity: linting is read-only over the hash-consed kernel ---------------
+
+def _all_subterms(p: Process) -> list[Process]:
+    out, stack = [], [p]
+    while stack:
+        q = stack.pop()
+        out.append(q)
+        stack.extend(q.children())
+    return out
+
+
+_lintable = st.one_of(
+    processes0, processes1,
+    st.sampled_from(sorted(WITNESSES)).map(lambda c: parse(WITNESSES[c])))
+
+
+@given(term=_lintable)
+@settings(max_examples=60, deadline=None)
+def test_lint_never_mutates_terms_or_caches(term):
+    nodes = _all_subterms(term)
+    interned_before = cache_stats()["interned"]
+    cached_before = [(q, slot, getattr(q, slot))
+                     for q in nodes for slot in _NODE_CACHE_SLOTS
+                     if hasattr(q, slot)]
+    report = run_lint(term)
+    assert report.term is term
+    # no new nodes were interned by any pass...
+    assert cache_stats()["interned"] == interned_before
+    # ...and every memoized result that existed is the same object
+    for q, slot, value in cached_before:
+        assert getattr(q, slot) is value
+    # determinism: a second run reproduces the findings exactly
+    again = run_lint(term)
+    assert [(d.code, d.path, d.message) for d in again.diagnostics] == \
+           [(d.code, d.path, d.message) for d in report.diagnostics]
+
+
+# -- the corpus stays clean -------------------------------------------------
+
+@pytest.mark.parametrize("name,term", corpus(), ids=corpus_names())
+def test_corpus_term_is_clean(name, term):
+    report = run_lint(term)
+    assert report.ok, f"{name}:\n{report.format_text()}"

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Architectural contract checker for the two-layer engine design.
+
+The engine layering (see docs/engine.md) splits bounded analyses in two:
+
+* **raw explorers** (``lts/``, ``equiv/``, ``axioms/`` builders) run under
+  a :class:`~repro.engine.budget.Meter` and *re-raise*
+  ``BudgetExceeded`` after attaching partial results — they never decide;
+* **verdict-level checkers** (functions annotated ``-> Verdict``) catch
+  the trip and degrade to a three-valued ``UNKNOWN`` — the exception must
+  never escape to callers of the stable API.
+
+Both halves are easy to get wrong in review (a ``pass`` in a handler, a
+new checker calling an explorer outside ``try``), so this script walks
+the AST of ``src/repro`` and enforces:
+
+Rule A (``swallowed-trip``)
+    Every ``except BudgetExceeded`` handler either contains a ``raise``
+    or returns only ``Verdict.of(...)`` / ``Verdict.from_exceeded(...)``
+    values.  Anything else silently converts a truncated search into a
+    definite-looking answer.
+
+Rule B (``unguarded-explorer``)
+    A function annotated ``-> Verdict`` that calls a known raw explorer
+    must do so inside a ``try`` with a ``BudgetExceeded`` handler —
+    otherwise the exception escapes the verdict layer.
+
+Run ``python tools/check_contracts.py`` (CI does); exit status 1 when a
+violation is found.  ``tests/test_contracts.py`` feeds the checker both
+the live tree and synthetic offenders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Exception names whose handlers the layering contract governs
+#: (StateSpaceExceeded is the pre-1.1 alias of BudgetExceeded).
+BUDGET_EXCEPTIONS = frozenset({"BudgetExceeded", "StateSpaceExceeded"})
+
+#: Raw explorer entry points: documented to raise BudgetExceeded (with
+#: ``exc.partial`` attached) rather than return a degraded result.
+RAW_EXPLORERS = frozenset({
+    "build_step_lts",
+    "build_full_lts",
+    "build_reduction_graph",
+    "solve_game",
+    "coarsest_partition",
+    "reachable_states",
+    "find_quiescent",
+    "output_traces",
+    "traces_upto",
+    "acceptance_sets",
+})
+
+#: Facade modules translating trips into their own vocabulary
+#: (``Exploration(complete=False)``, CLI exit codes) instead of Verdicts.
+EXEMPT_FILES = frozenset({"api.py", "__main__.py"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _exception_names(node: ast.expr | None) -> set[str]:
+    """The names an ``except <expr>`` clause catches (best effort)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for elt in node.elts:
+            out |= _exception_names(elt)
+        return out
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    return set()
+
+
+def _catches_budget(handler: ast.ExceptHandler) -> bool:
+    return bool(_exception_names(handler.type) & BUDGET_EXCEPTIONS)
+
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _walk_same_scope(nodes: list[ast.stmt]) -> "list[ast.AST]":
+    """All AST nodes under *nodes*, not descending into nested scopes."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, _SCOPES):
+            continue  # the nested scope's body runs later, elsewhere
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _is_verdict_call(node: ast.expr | None) -> bool:
+    """``Verdict.of(...)`` / ``Verdict.from_exceeded(...)`` (any method)."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "Verdict")
+
+
+def _check_handler(handler: ast.ExceptHandler, path: str,
+                   violations: list[Violation]) -> None:
+    """Rule A: the handler must re-raise or return only Verdicts."""
+    body = _walk_same_scope(handler.body)
+    if any(isinstance(n, ast.Raise) for n in body):
+        return
+    returns = [n for n in body if isinstance(n, ast.Return)]
+    if returns and all(_is_verdict_call(r.value) for r in returns):
+        return
+    caught = " | ".join(sorted(_exception_names(handler.type)
+                               & BUDGET_EXCEPTIONS))
+    violations.append(Violation(
+        path, handler.lineno, "swallowed-trip",
+        f"`except {caught}` neither re-raises nor returns a Verdict; "
+        f"a truncated search must surface as UNKNOWN or propagate"))
+
+
+def _returns_verdict(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    ann = fn.returns
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.strip().strip('"\'') == "Verdict"
+    return isinstance(ann, ast.Name) and ann.id == "Verdict"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _own_expressions(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression nodes evaluated by *stmt* itself — call arguments,
+    tests, with-items — stopping at nested statements and scopes."""
+    barrier = (ast.stmt, *_SCOPES)
+    out: list[ast.AST] = []
+    stack = [c for c in ast.iter_child_nodes(stmt)
+             if not isinstance(c, barrier)]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(c for c in ast.iter_child_nodes(node)
+                     if not isinstance(c, barrier))
+    return out
+
+
+def _check_verdict_fn(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                      path: str, violations: list[Violation]) -> None:
+    """Rule B: raw explorer calls need a BudgetExceeded handler above."""
+
+    def scan(stmts: list[ast.stmt], protected: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _SCOPES):
+                continue  # deferred execution; checked when it runs
+            if isinstance(stmt, ast.Try):
+                guarded = protected or any(_catches_budget(h)
+                                           for h in stmt.handlers)
+                scan(stmt.body, guarded)
+                for h in stmt.handlers:
+                    scan(h.body, protected)
+                # else/finally run outside the handlers' reach
+                scan(stmt.orelse, protected)
+                scan(stmt.finalbody, protected)
+                continue
+            if not protected:
+                for node in _own_expressions(stmt):
+                    if (isinstance(node, ast.Call)
+                            and _call_name(node) in RAW_EXPLORERS):
+                        violations.append(Violation(
+                            path, node.lineno, "unguarded-explorer",
+                            f"`{fn.name}` returns Verdict but calls raw "
+                            f"explorer `{_call_name(node)}` outside a "
+                            f"BudgetExceeded handler"))
+            # recurse into nested suites (if/for/while/with/match bodies)
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    scan(sub, protected)
+            for case in getattr(stmt, "cases", ()):
+                scan(case.body, protected)
+
+    scan(fn.body, False)
+
+
+def check_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Check one module's source; returns the violations found."""
+    violations: list[Violation] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violations.append(Violation(path, exc.lineno or 0, "syntax",
+                                    f"cannot parse: {exc.msg}"))
+        return violations
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and _catches_budget(node):
+            _check_handler(node, path, violations)
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and _returns_verdict(node)):
+            _check_verdict_fn(node, path, violations)
+    return violations
+
+
+def check_file(path: Path) -> list[Violation]:
+    return check_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def iter_files(roots: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(p for p in sorted(root.rglob("*.py"))
+                         if p.name not in EXEMPT_FILES)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="enforce the two-layer engine contract "
+                    "(raw explorers re-raise, verdict checkers catch)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        default=[Path("src/repro")],
+                        help="files or directories to check "
+                             "(default: src/repro)")
+    args = parser.parse_args(argv)
+
+    violations: list[Violation] = []
+    files = iter_files(args.paths)
+    for path in files:
+        violations.extend(check_file(path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"{len(violations)} contract violation"
+              f"{'s' if len(violations) != 1 else ''} "
+              f"in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"contracts: OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
