@@ -42,6 +42,50 @@ def broadcast_star(n_receivers: int, chan: str = "a") -> Process:
     return par(out(chan, "v"), *receivers)
 
 
+def broadcast_star_wrong(n_receivers: int, chan: str = "a") -> Process:
+    """``broadcast_star`` with receiver 0 replying on the wrong channel.
+
+    Against :func:`broadcast_star` this is the canonical *distinguished*
+    pair: the difference is observable two transitions in (broadcast,
+    then the ``r0``/``wrong`` reply), while the full product space stays
+    exponential in *n_receivers* — the on-the-fly checker's best case.
+    """
+    receivers = [inp(chan, (f"x{i}",),
+                     out("wrong" if i == 0 else f"r{i}", f"x{i}"))
+                 for i in range(n_receivers)]
+    return par(out(chan, "v"), *receivers)
+
+
+def idle_listener(chan: str = "b") -> Process:
+    """``nu b (b(x).c<x>)`` — a listener on a private channel.
+
+    Nobody can ever send on the restricted channel, so the component is
+    inert (it discards every broadcast); ``P | idle_listener()`` is
+    bisimilar to ``P``.  Composed with :func:`broadcast_star` it makes a
+    *bisimilar* pair whose product space the global checkers must still
+    enumerate — and which up-to-parallel-context collapses outright.
+    """
+    return nu(chan, inp(chan, ("x",), out("c", "x")))
+
+
+def relay_star(n_receivers: int, wrong: int | None = None,
+               chan: str = "a") -> Process:
+    """A hidden broadcast star whose receivers relay over a tau step.
+
+    ``nu a (a<v> | a(x0).tau.r0<x0> | ...)``: the broadcast is internal
+    (``nu`` hides the channel) and each receiver inserts a ``tau`` before
+    replying, so the weak tau-closure of the post-broadcast state has
+    2^n members.  The eager weak checkers recompute that closure per
+    pair; the demand-driven ``LazyReach`` pays each state once.  With
+    *wrong* set, that receiver replies on channel ``wrong`` — a
+    distinguished variant observable a few weak steps in.
+    """
+    receivers = [inp(chan, (f"x{i}",),
+                     tau(out("wrong" if i == wrong else f"r{i}", f"x{i}")))
+                 for i in range(n_receivers)]
+    return nu(chan, par(out(chan, "v"), *receivers))
+
+
 def token_ring(n: int) -> Process:
     """n processes passing a private token around a ring of channels."""
     token = nu("tok", out("c0", "tok"))

@@ -29,6 +29,12 @@ Schema 4 adds a ``"lint"`` block: the static analyzer
 (:mod:`repro.lint`) runs over the apps/examples corpus and reports
 per-pass wall-clock totals and per-code diagnostic counts, tracking
 analyzer cost on a realistic term mix PR over PR.
+
+Schema 5 adds an ``"onthefly"`` block (see ``bench_onthefly.py``): the
+curated A/B rows comparing the on-the-fly product core against the
+global oracle under one shared budget — pair counts, wall-clock and
+verdicts for both strategies, plus the intern-table hit rate.  In
+``--quick`` mode the block uses the CI gate's 50k-pair pool.
 """
 
 from __future__ import annotations
@@ -37,7 +43,10 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 #: Experiment registry: (name, claim, thunk).  Thunks return the verdict.
 EXPERIMENTS: list[tuple[str, str, Callable[[], bool]]] = []
@@ -298,12 +307,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json:
         from repro.core import cache_stats
+
+        from benchmarks.bench_onthefly import ab_block
         payload = {
-            "schema": 4,
+            "schema": 5,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
             "lint": lint_block(),
+            "onthefly": ab_block(quick=args.quick),
             "cache": cache_stats(),
             "obs": obs.snapshot(),
         }

@@ -9,7 +9,9 @@ moves "<process>" [--fresh N]
 run "<process>" [--seed S] [--max-steps N]
     Execute a closed system under the seeded scheduler; print the trace.
 eq "<p>" "<q>" [--relation barbed|step|labelled|noisy|congruence] [--weak]
-    Decide a behavioural equivalence.
+   [--strategy onthefly|global]
+    Decide a behavioural equivalence.  The bisimilarity relations run
+    on-the-fly by default; --strategy global forces the eager oracle.
 barb "<process>" <channel> [--max-states N]
     Bounded search: can the system reach a broadcast on the channel?
 canon "<process>"
@@ -92,12 +94,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_eq(args: argparse.Namespace) -> int:
     from .api import check
 
+    from .equiv.onthefly import PartialProduct
+
     budget = _budget_from(args)
     verdict = check(parse(args.p), parse(args.q), relation=args.relation,
-                    weak=args.weak, budget=budget)
+                    weak=args.weak, budget=budget, strategy=args.strategy)
     kind = ("weak " if args.weak else "strong ") + args.relation
     if verdict.is_unknown:
-        print(f"{kind}: UNKNOWN ({verdict.reason})")
+        detail = (f" {verdict.evidence.summary()}"
+                  if isinstance(verdict.evidence, PartialProduct) else "")
+        print(f"{kind}: UNKNOWN ({verdict.reason}){detail}")
         return EXIT_UNKNOWN
     print(f"{kind}: {'EQUIVALENT' if verdict.is_true else 'DIFFERENT'}")
     return 0 if verdict.is_true else 1
@@ -263,6 +269,10 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["barbed", "step", "labelled", "noisy",
                             "congruence", "similar"])
     s.add_argument("--weak", action="store_true")
+    s.add_argument("--strategy", default=None,
+                   choices=["onthefly", "global"],
+                   help="checker core for barbed/step/labelled "
+                        "(default: onthefly)")
     s.set_defaults(func=_cmd_eq)
 
     s = sub.add_parser("barb", help="barb reachability (exit 0/1/2)",

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint uses obs)
     from .lint.diagnostics import LintReport
 
 __all__ = ["parse", "check", "explore", "decide_axioms", "reach", "lint",
-           "Exploration", "RELATIONS"]
+           "Exploration", "RELATIONS", "STRATEGY_RELATIONS"]
 
 
 def parse(source: str) -> Process:
@@ -75,9 +75,14 @@ def _relations() -> dict[str, Callable[..., Verdict]]:
 RELATIONS = ("barbed", "step", "labelled", "noisy", "congruence", "similar")
 
 
+#: Relations whose checkers accept a ``strategy=`` knob.
+STRATEGY_RELATIONS = ("barbed", "step", "labelled")
+
+
 def check(p: "Process | str", q: "Process | str", *,
           relation: str = "labelled", weak: bool = False,
-          budget: "Budget | Meter | None" = None) -> Verdict:
+          budget: "Budget | Meter | None" = None,
+          strategy: "str | None" = None) -> Verdict:
     """Are *p* and *q* behaviourally equivalent?
 
     *relation* picks the checker — ``"barbed"``, ``"step"``,
@@ -86,6 +91,11 @@ def check(p: "Process | str", q: "Process | str", *,
     under substitutions) or ``"similar"`` (mutual simulation).  Returns a
     three-valued :class:`~repro.engine.verdict.Verdict`; ``UNKNOWN``
     means the *budget* tripped before the search completed.
+
+    For the bisimilarity relations, *strategy* selects the checker core:
+    ``"onthefly"`` (the default) decides lazily over the product graph
+    with up-to closures, ``"global"`` materialises the bounded state
+    space first (the test oracle).
     """
     deciders = _relations()
     if relation not in deciders:
@@ -96,6 +106,12 @@ def check(p: "Process | str", q: "Process | str", *,
         kwargs["weak"] = weak
     elif weak:
         kwargs["weak"] = True
+    if strategy is not None:
+        if relation not in STRATEGY_RELATIONS:
+            raise ValueError(
+                f"strategy= applies to {STRATEGY_RELATIONS}, "
+                f"not {relation!r}")
+        kwargs["strategy"] = strategy
     return deciders[relation](_as_process(p), _as_process(q), **kwargs)
 
 

@@ -49,6 +49,8 @@ _NODE_CACHE_SLOTS = (
     "_listen",   # discard.listening_channels
     "_nf",       # canonical._normalize(p, collapse=False)
     "_nf2",      # canonical._normalize(p, collapse=True)
+    "_phisucc",  # equiv.reduction_graph.phi_successors (steps=True)
+    "_tausucc",  # equiv.reduction_graph.phi_successors (steps=False)
 )
 
 #: The global intern table: structural key -> the unique node.

@@ -37,6 +37,18 @@ from .musttesting import (
     must_preorder_sampled,
 )
 from .noisy import noisy_similar
+from .onthefly import (
+    DEFAULT_CLOSURES,
+    Closure,
+    ParallelContextClosure,
+    PartialProduct,
+    ReflexivityClosure,
+    RenamingClosure,
+    RewriteClosure,
+    SymmetryClosure,
+    explore_product,
+    reduction_challenges,
+)
 from .simulation import similar, simulates
 from .step import step_bisimilar, strong_step_bisimilar, weak_step_bisimilar
 
@@ -50,6 +62,10 @@ __all__ = [
     "labelled_bisimilar", "strong_bisimilar", "weak_bisimilar",
     "must_equivalent_sampled", "must_pass", "must_preorder_sampled",
     "noisy_similar",
+    "Closure", "DEFAULT_CLOSURES", "PartialProduct",
+    "ParallelContextClosure", "ReflexivityClosure", "RenamingClosure",
+    "RewriteClosure", "SymmetryClosure",
+    "explore_product", "reduction_challenges",
     "similar", "simulates",
     "step_bisimilar", "strong_step_bisimilar", "weak_step_bisimilar",
 ]

@@ -4,10 +4,13 @@
   (p',q') in S; and p |down a implies q |down a.
 * weak: tau-moves matched by ==> and strong barbs by weak barbs.
 
-Both are decided by coarsest-partition refinement over the (shared) tau
-graph; the weak case is refined over the saturated graph with weak-barb
-keys, which coincides with the asymmetric definition (classical argument,
-cross-checked in the tests against hand-proved examples from the paper).
+The default ``"onthefly"`` strategy plays the product game lazily over
+the tau graph with up-to closures (see :mod:`.onthefly`); the
+``"global"`` oracle decides by coarsest-partition refinement over the
+(shared) tau graph, the weak case over the saturated graph with
+weak-barb keys, which coincides with the asymmetric definition
+(classical argument, cross-checked in the tests against hand-proved
+examples from the paper).
 
 Barbed *equivalence* closes the bisimilarity under static contexts
 (Table 5); :func:`strong_barbed_equivalent` approximates the universal
@@ -29,16 +32,23 @@ from ..engine.budget import (
 from ..engine.verdict import Verdict
 from ..lts.partition import coarsest_partition
 from ..lts.weak import reachability_closure, weak_keys
+from .onthefly import validate_strategy
 from .reduction_graph import DEFAULT_BUDGET, build_reduction_graph
+from .step import _onthefly_reduction
 
 
 def strong_barbed_bisimilar(p: Process, q: Process, *,
                             budget: Budget | Meter | None = None,
-                            max_states: int | None = None) -> Verdict:
+                            max_states: int | None = None,
+                            strategy: str = "onthefly") -> Verdict:
     """Decide ``p ~b q`` (strong barbed bisimilarity)."""
+    validate_strategy(strategy)
     budget = legacy_cap("strong_barbed_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    if strategy == "onthefly":
+        return _onthefly_reduction(p, q, steps=False, weak=False,
+                                   meter=meter)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=False,
                                                 budget=meter)
@@ -51,11 +61,16 @@ def strong_barbed_bisimilar(p: Process, q: Process, *,
 
 def weak_barbed_bisimilar(p: Process, q: Process, *,
                           budget: Budget | Meter | None = None,
-                          max_states: int | None = None) -> Verdict:
+                          max_states: int | None = None,
+                          strategy: str = "onthefly") -> Verdict:
     """Decide ``p ~~b q`` (weak barbed bisimilarity)."""
+    validate_strategy(strategy)
     budget = legacy_cap("weak_barbed_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    if strategy == "onthefly":
+        return _onthefly_reduction(p, q, steps=False, weak=True,
+                                   meter=meter)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=False,
                                                 budget=meter)
@@ -69,9 +84,10 @@ def weak_barbed_bisimilar(p: Process, q: Process, *,
 
 def barbed_bisimilar(p: Process, q: Process, *, weak: bool = False,
                      budget: Budget | Meter | None = None,
-                     max_states: int | None = None) -> Verdict:
+                     max_states: int | None = None,
+                     strategy: str = "onthefly") -> Verdict:
     """Dispatch on *weak*."""
     budget = legacy_cap("barbed_bisimilar", budget, max_states=max_states)
     if weak:
-        return weak_barbed_bisimilar(p, q, budget=budget)
-    return strong_barbed_bisimilar(p, q, budget=budget)
+        return weak_barbed_bisimilar(p, q, budget=budget, strategy=strategy)
+    return strong_barbed_bisimilar(p, q, budget=budget, strategy=strategy)

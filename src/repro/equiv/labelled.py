@@ -47,9 +47,17 @@ from ..engine.budget import (
     resolve_meter,
 )
 from ..engine.verdict import Verdict
+from ..lts.weak import LazyReach
 from ..obs import metrics as _metrics, tracing as _tracing
 from ..obs.state import STATE as _OBS
 from .game import DEFAULT_MAX_PAIRS, solve_game
+from .onthefly import (
+    DEFAULT_CLOSURES,
+    Closure,
+    explore_product,
+    validate_strategy,
+)
+from .reduction_graph import phi_successors
 
 #: Cap on distinct fresh names offered per input position.
 MAX_FRESH_PER_INPUT = 3
@@ -163,30 +171,43 @@ class _LabelledGame:
 
     All tau-closure members computed for weak answers charge the shared
     *meter* — one unified pool across pair exploration and saturation.
+    With ``lazy=True`` (the on-the-fly strategy) saturation goes through
+    one memoised :class:`~repro.lts.weak.LazyReach`, so each distinct
+    state charges the pool once per run; the global oracle keeps the
+    historical per-call accounting so its budget semantics — and the
+    regression baselines built on them — stay put.
     """
 
-    def __init__(self, weak: bool, meter: Meter):
+    def __init__(self, weak: bool, meter: Meter, *, lazy: bool = False):
         self.weak = weak
         self.meter = meter
+        self._reach: LazyReach[Process] | None = (
+            LazyReach(lambda s: phi_successors(s, steps=False), meter)
+            if (weak and lazy) else None)
+
+    def tau_closure(self, p: Process) -> tuple[Process, ...]:
+        if self._reach is not None:
+            return tuple(self._reach.reach(canonical_state(p)))
+        return _tau_closure(p, self.meter)
 
     # --- weak answer machinery ------------------------------------------
     def _answer_taus(self, q: Process) -> list[Process]:
         if not self.weak:
             return _taus(q)
-        return list(_tau_closure(q, self.meter))
+        return list(self.tau_closure(q))
 
     def _answer_outputs(self, q: Process, reference: OutputAction,
                         avoid: frozenset[Name]) -> list[Process]:
         """All q' answering the output challenge *reference*."""
         answers: list[Process] = []
-        starts = _tau_closure(q, self.meter) if self.weak else (q,)
+        starts = self.tau_closure(q) if self.weak else (q,)
         for q1 in starts:
             for action, q2 in _outputs(q1):
                 aligned = _align_output(action, q2, reference)
                 if aligned is None:
                     continue
                 if self.weak:
-                    answers.extend(_tau_closure(aligned, self.meter))
+                    answers.extend(self.tau_closure(aligned))
                 else:
                     answers.append(aligned)
         return answers
@@ -197,9 +218,9 @@ class _LabelledGame:
         if not self.weak:
             return _input_moves(q, chan, values)
         answers: list[Process] = []
-        for q1 in _tau_closure(q, self.meter):
+        for q1 in self.tau_closure(q):
             for q2 in _input_moves(q1, chan, values):
-                answers.extend(_tau_closure(q2, self.meter))
+                answers.extend(self.tau_closure(q2))
         return answers
 
     # --- challenges ------------------------------------------------------
@@ -247,17 +268,23 @@ DEFAULT_BUDGET = Budget(max_states=DEFAULT_MAX_PAIRS)
 def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
                        budget: Budget | Meter | None = None,
                        max_pairs: int | None = None,
-                       max_states: int | None = None) -> Verdict:
+                       max_states: int | None = None,
+                       strategy: str = "onthefly",
+                       closures: "tuple[Closure, ...] | None" = None,
+                       ) -> Verdict:
     """Decide strong (``p ~ q``) or weak (``p ~~ q``) labelled bisimilarity.
 
     Returns a three-valued :class:`~repro.engine.Verdict`: ``UNKNOWN``
     (never a definite answer) when the budget trips before the pair game
-    is fully explored.
+    is fully explored.  *strategy* picks the core: ``"onthefly"`` (the
+    default) decides pair by pair with up-to *closures* and exits early;
+    ``"global"`` runs the eager fixpoint game, kept as the test oracle.
     """
+    validate_strategy(strategy)
     budget = legacy_cap("labelled_bisimilar", budget,
                         max_pairs=max_pairs, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
-    game = _LabelledGame(weak, meter)
+    game = _LabelledGame(weak, meter, lazy=(strategy == "onthefly"))
     cache: dict[PairKey, list[list[PairKey]]] = {}
 
     def challenges_of(key: PairKey) -> list[list[PairKey]]:
@@ -270,9 +297,17 @@ def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
                 _metrics.inc("equiv.challenges", len(got))
         return got
 
-    with _tracing.span("equiv.labelled", weak=weak) as sp:
+    with _tracing.span("equiv.labelled", weak=weak, strategy=strategy) as sp:
         try:
-            flag = solve_game(_pair_key(p, q), challenges_of, budget=meter)
+            if strategy == "onthefly":
+                flag = explore_product(
+                    _pair_key(p, q), challenges_of,
+                    closures=DEFAULT_CLOSURES if closures is None
+                    else closures,
+                    budget=meter)
+            else:
+                flag = solve_game(_pair_key(p, q), challenges_of,
+                                  budget=meter)
         except BudgetExceeded as exc:
             sp.set(verdict="unknown")
             return Verdict.from_exceeded(exc)

@@ -64,6 +64,41 @@ def canonical_extrusion(action: OutputAction, target: Process,
     return apply_subst(target, mapping)
 
 
+def phi_successors(state: Process, *, steps: bool) -> tuple[Process, ...]:
+    """The canonical ``-phi->`` (or tau-only) successor states of *state*.
+
+    Targets are canonicalized (:func:`canonical_state`) with bound
+    outputs renamed by :func:`canonical_extrusion`, and deduplicated
+    preserving derivation order.  Memoized on the interned node (one slot
+    per ``steps`` flavour) — the shared successor function of the global
+    graph builder and the on-the-fly product core.
+    """
+    slot = "_phisucc" if steps else "_tausucc"
+    try:
+        return getattr(state, slot)
+    except AttributeError:
+        pass
+    out: dict[Process, None] = {}
+    fn_state: frozenset[str] | None = None
+    for action, target in step_transitions(state):
+        if isinstance(action, TauAction):
+            pass  # always followed
+        elif not steps:
+            continue  # tau graph: outputs are not reductions
+        else:
+            assert isinstance(action, OutputAction)
+            if action.binders:
+                if fn_state is None:
+                    fn_state = free_names(state)
+                action, target = freshen_action_binders(
+                    action, target, fn_state)
+                target = canonical_extrusion(action, target, fn_state)
+        out[canonical_state(target)] = None
+    result = tuple(out)
+    setattr(state, slot, result)
+    return result
+
+
 @dataclass
 class ReductionGraph:
     """States + unlabelled successor sets + per-state strong barbs."""
@@ -116,18 +151,7 @@ def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
         while queue:
             sid = queue.popleft()
             state = graph.states[sid]
-            for action, target in step_transitions(state):
-                if isinstance(action, TauAction):
-                    pass  # always followed
-                elif not steps:
-                    continue  # barbed graph: tau only
-                else:
-                    assert isinstance(action, OutputAction)
-                    if action.binders:
-                        action, target = freshen_action_binders(
-                            action, target, free_names(state))
-                        target = canonical_extrusion(
-                            action, target, free_names(state))
+            for target in phi_successors(state, steps=steps):
                 tid, fresh = graph.intern(target)
                 if fresh:
                     meter.charge()

@@ -9,8 +9,12 @@ a strong step-bisimulation when, for (p,q) in S:
 * p |down a    implies  q |down a.
 
 The weak variant matches against ``(-phi->)*`` and the phi-weak barb.
-Decided by partition refinement over the shared phi-graph (see
-``reduction_graph`` for how extruded names are handled).
+
+Two strategies decide it: ``"onthefly"`` (default) plays the product game
+lazily with up-to closures (see :mod:`.onthefly`), ``"global"`` runs
+partition refinement over the fully materialised phi-graph (see
+``reduction_graph`` for how extruded names are handled) and is kept as
+the oracle the property tests compare against.
 """
 
 from __future__ import annotations
@@ -26,16 +30,38 @@ from ..engine.budget import (
 from ..engine.verdict import Verdict
 from ..lts.partition import coarsest_partition
 from ..lts.weak import reachability_closure, weak_keys
+from .onthefly import (
+    explore_product,
+    product_root,
+    reduction_challenges,
+    validate_strategy,
+)
 from .reduction_graph import DEFAULT_BUDGET, build_reduction_graph
+
+
+def _onthefly_reduction(p: Process, q: Process, *, steps: bool, weak: bool,
+                        meter: Meter) -> Verdict:
+    """Shared on-the-fly driver for the step and barbed checkers."""
+    try:
+        challenges = reduction_challenges(steps=steps, weak=weak,
+                                          meter=meter)
+        flag = explore_product(product_root(p, q), challenges, budget=meter)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag, stats=meter.stats())
 
 
 def strong_step_bisimilar(p: Process, q: Process, *,
                           budget: Budget | Meter | None = None,
-                          max_states: int | None = None) -> Verdict:
+                          max_states: int | None = None,
+                          strategy: str = "onthefly") -> Verdict:
     """Decide ``p ~phi q`` (strong step-bisimilarity)."""
+    validate_strategy(strategy)
     budget = legacy_cap("strong_step_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    if strategy == "onthefly":
+        return _onthefly_reduction(p, q, steps=True, weak=False, meter=meter)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
                                                 budget=meter)
@@ -48,11 +74,15 @@ def strong_step_bisimilar(p: Process, q: Process, *,
 
 def weak_step_bisimilar(p: Process, q: Process, *,
                         budget: Budget | Meter | None = None,
-                        max_states: int | None = None) -> Verdict:
+                        max_states: int | None = None,
+                        strategy: str = "onthefly") -> Verdict:
     """Decide ``p ~~phi q`` (weak step-bisimilarity)."""
+    validate_strategy(strategy)
     budget = legacy_cap("weak_step_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    if strategy == "onthefly":
+        return _onthefly_reduction(p, q, steps=True, weak=True, meter=meter)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
                                                 budget=meter)
@@ -66,9 +96,10 @@ def weak_step_bisimilar(p: Process, q: Process, *,
 
 def step_bisimilar(p: Process, q: Process, *, weak: bool = False,
                    budget: Budget | Meter | None = None,
-                   max_states: int | None = None) -> Verdict:
+                   max_states: int | None = None,
+                   strategy: str = "onthefly") -> Verdict:
     """Dispatch on *weak*."""
     budget = legacy_cap("step_bisimilar", budget, max_states=max_states)
     if weak:
-        return weak_step_bisimilar(p, q, budget=budget)
-    return strong_step_bisimilar(p, q, budget=budget)
+        return weak_step_bisimilar(p, q, budget=budget, strategy=strategy)
+    return strong_step_bisimilar(p, q, budget=budget, strategy=strategy)

@@ -1,33 +1,97 @@
-"""Saturation utilities: reflexive-transitive closures over explicit LTSs.
+"""Saturation utilities: reflexive-transitive closures over LTSs.
 
 Weak equivalences are checked as strong ones over saturated successor
-relations; these helpers compute the closures once per graph.
+relations.  Two consumers with different access patterns share the code:
+
+* the *global* checkers saturate an explicit integer graph all at once
+  (:func:`reachability_closure`) before partition refinement;
+* the *on-the-fly* product core (:mod:`repro.equiv.onthefly`) asks for
+  one state's tau-reach at a time and must not pay for the rest of the
+  graph — :class:`LazyReach` memoises per-state reach sets on demand.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+
+from ..engine.budget import Meter
+
+T = TypeVar("T", bound=Hashable)
+
+
+class LazyReach(Generic[T]):
+    """Demand-driven memoised reflexive-transitive closure.
+
+    ``reach(s)`` returns every state reachable from *s* (including *s*)
+    over the given successor function.  Results are cached per start
+    state, and the BFS absorbs already-cached reach sets wholesale, so a
+    query never re-traverses a region another query has finished.
+
+    When a :class:`~repro.engine.budget.Meter` is given, each state
+    charges the pool **once per instance** the first time any query
+    visits it — the demand-driven analogue of "one charge per interned
+    state".  Instances must therefore be scoped to a single checker run
+    (one meter): a cross-run cache would make budget verdicts depend on
+    history.
+    """
+
+    __slots__ = ("_successors", "_meter", "_memo", "_charged")
+
+    def __init__(self, successors: Callable[[T], Iterable[T]],
+                 meter: Meter | None = None):
+        self._successors = successors
+        self._meter = meter
+        self._memo: dict[T, frozenset[T]] = {}
+        self._charged: set[T] = set()
+
+    def _charge(self, state: T) -> None:
+        if self._meter is not None and state not in self._charged:
+            self._charged.add(state)
+            self._meter.charge()
+
+    def reach(self, start: T) -> frozenset[T]:
+        """All states reachable from *start* (reflexive-transitive)."""
+        cached = self._memo.get(start)
+        if cached is not None:
+            return cached
+        self._charge(start)
+        seen: set[T] = {start}
+        stack: list[T] = [start]
+        while stack:
+            s = stack.pop()
+            for t in self._successors(s):
+                if t in seen:
+                    continue
+                done = self._memo.get(t)
+                if done is not None:
+                    # Absorb the finished region without re-walking it.
+                    for u in done - seen:
+                        self._charge(u)
+                    seen |= done
+                    continue
+                self._charge(t)
+                seen.add(t)
+                stack.append(t)
+        result = frozenset(seen)
+        self._memo[start] = result
+        return result
 
 
 def reachability_closure(successors: Sequence[frozenset[int]]) -> list[frozenset[int]]:
-    """Reflexive-transitive closure of a successor relation.
+    """Reflexive-transitive closure of a whole successor relation.
 
-    Plain iterative BFS per state; graphs here are small (thousands of
-    states) and the closure is computed once, so asymptotic heroics are not
-    warranted (profile first — see the benchmarks).
+    The eager form the global checkers need: every state's reach set at
+    once, computed by one shared :class:`LazyReach` so later starts reuse
+    the regions earlier starts finished.  Starts are taken in reverse
+    index order — BFS exploration appends successors after their
+    predecessors, so high indices tend to be deep states whose closures
+    the shallow states then absorb.
     """
+    lazy: LazyReach[int] = LazyReach(lambda s: successors[s])
     n = len(successors)
     closed: list[frozenset[int]] = [frozenset()] * n
-    for start in range(n):
-        seen = {start}
-        stack = [start]
-        while stack:
-            s = stack.pop()
-            for t in successors[s]:
-                if t not in seen:
-                    seen.add(t)
-                    stack.append(t)
-        closed[start] = frozenset(seen)
+    for start in range(n - 1, -1, -1):
+        closed[start] = lazy.reach(start)
     return closed
 
 

@@ -42,11 +42,22 @@ class TestCheck:
         assert repro.check("tau.a!", "a!", relation="barbed").is_false
 
     def test_unknown_on_tight_budget(self):
+        # The global oracle must materialise the unbounded pair graph and
+        # trips; the default on-the-fly core finds the distinguishing
+        # prefix inside the same budget.
         v = repro.check("rec X(). tau.(a! | X)",
                         "rec Y(). tau.(a! | a! | Y)",
-                        budget=Budget(max_states=50))
+                        budget=Budget(max_states=50), strategy="global")
         assert v.is_unknown and v.reason == "max-states"
         assert v.stats["states"] >= 50
+        v2 = repro.check("rec X(). tau.(a! | X)",
+                         "rec Y(). tau.(a! | a! | Y)",
+                         budget=Budget(max_states=50))
+        assert v2.is_false
+
+    def test_strategy_rejected_for_non_bisim_relation(self):
+        with pytest.raises(ValueError, match="strategy"):
+            repro.check("a!", "a!", relation="noisy", strategy="global")
 
     def test_unknown_relation_rejected(self):
         with pytest.raises(ValueError, match="unknown relation"):

@@ -140,16 +140,74 @@ class TestGracefulDegradation:
 # answers are produced only by *completed* searches and a completed
 # search is budget-independent.
 
+@pytest.mark.parametrize("strategy", ["onthefly", "global"])
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(p=processes1, q=processes1, cap=st.integers(2, 60))
-def test_budget_monotonicity_labelled(p, q, cap):
+def test_budget_monotonicity_labelled(strategy, p, q, cap):
     small = Budget(max_states=cap)
-    v_small = labelled_bisimilar(p, q, budget=small)
-    v_big = labelled_bisimilar(p, q, budget=small.scaled(10))
+    v_small = labelled_bisimilar(p, q, budget=small, strategy=strategy)
+    v_big = labelled_bisimilar(p, q, budget=small.scaled(10),
+                               strategy=strategy)
     if v_small.is_definite:
         assert v_big.truth == v_small.truth
     # (UNKNOWN at the small budget may be anything at the big one.)
+
+
+# -- strategy agreement ------------------------------------------------------
+#
+# The on-the-fly core is a different decision procedure for the same
+# relations: whenever both strategies complete, they must agree; and
+# since on-the-fly charges a subset of what the global strategy charges
+# (pairs instead of states, closures merging the frontier), it must never
+# be the one that goes UNKNOWN when the global oracle is definite under
+# the same max-states pool.
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, q=processes1, cap=st.integers(4, 80))
+def test_strategy_agreement_labelled(p, q, cap):
+    budget = Budget(max_states=cap)
+    v_fly = labelled_bisimilar(p, q, budget=budget, strategy="onthefly")
+    v_glob = labelled_bisimilar(p, q, budget=budget, strategy="global")
+    if v_fly.is_definite and v_glob.is_definite:
+        assert v_fly.truth == v_glob.truth
+    if v_glob.is_definite:
+        assert v_fly.is_definite
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, q=processes1, cap=st.integers(4, 80),
+       weak=st.booleans())
+def test_strategy_agreement_step(p, q, cap, weak):
+    from repro.equiv.step import step_bisimilar
+    budget = Budget(max_states=cap)
+    v_fly = step_bisimilar(p, q, weak=weak, budget=budget,
+                           strategy="onthefly")
+    v_glob = step_bisimilar(p, q, weak=weak, budget=budget,
+                            strategy="global")
+    if v_fly.is_definite and v_glob.is_definite:
+        assert v_fly.truth == v_glob.truth
+    if v_glob.is_definite:
+        assert v_fly.is_definite
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p=processes1, q=processes1, cap=st.integers(4, 80),
+       weak=st.booleans())
+def test_strategy_agreement_barbed(p, q, cap, weak):
+    from repro.equiv.barbed import barbed_bisimilar
+    budget = Budget(max_states=cap)
+    v_fly = barbed_bisimilar(p, q, weak=weak, budget=budget,
+                             strategy="onthefly")
+    v_glob = barbed_bisimilar(p, q, weak=weak, budget=budget,
+                              strategy="global")
+    if v_fly.is_definite and v_glob.is_definite:
+        assert v_fly.truth == v_glob.truth
+    if v_glob.is_definite:
+        assert v_fly.is_definite
 
 
 @settings(max_examples=20, deadline=None,

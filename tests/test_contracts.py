@@ -171,6 +171,26 @@ def check(p) -> Verdict:
 """) == []
 
 
+def test_unguarded_onthefly_explorer_is_flagged():
+    # the PR-6 raw explorer is subject to Rule B like the eager ones
+    assert codes("""
+def check(p, q) -> Verdict:
+    flag = explore_product((p, q), challenges)
+    return Verdict.of(flag)
+""") == ["unguarded-explorer"]
+
+
+def test_guarded_onthefly_explorer_is_clean():
+    assert codes("""
+def check(p, q) -> Verdict:
+    try:
+        flag = explore_product((p, q), challenges)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+    return Verdict.of(flag)
+""") == []
+
+
 def test_string_annotation_counts():
     assert codes("""
 def check(p) -> "Verdict":

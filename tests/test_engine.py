@@ -144,10 +144,13 @@ class TestGovern:
             resolve_meter(500)
 
     def test_governed_checkers_share_pool(self):
+        # A distinguishable pair with a deep product: the on-the-fly core
+        # must draw its per-pair charges from the ambient pool and trip.
         from repro.core.parser import parse
         from repro.equiv.labelled import labelled_bisimilar
         with govern(Budget(max_states=2)) as m:
-            v = labelled_bisimilar(parse("a!.b!"), parse("a!.b!"))
+            v = labelled_bisimilar(parse("a!.b!.c!.d!"),
+                                   parse("a!.b!.c!.e!"))
         assert v.is_unknown and m.tripped == "max-states"
 
 

@@ -288,7 +288,7 @@ class TestOracle:
         for sp, sq, want in pairs:
             assert labelled_bisimilar(parse(sp), parse(sq)) == want
         obs.disable()
-        assert obs.counter_value("game.pairs_explored") > 0
+        assert obs.counter_value("product.pairs_expanded") > 0
 
 
 class TestCliFlags:
@@ -307,7 +307,7 @@ class TestCliFlags:
                      "--metrics"]) == 0
         err = capsys.readouterr().err
         assert "equiv.labelled" in err          # span tree on stderr
-        assert "game.pairs_explored" in err     # counters on stderr
+        assert "product.pairs_expanded" in err  # counters on stderr
         assert path.exists()
 
     def test_cli_leaves_obs_disabled(self, tmp_path):

@@ -49,6 +49,7 @@ RAW_EXPLORERS = frozenset({
     "build_full_lts",
     "build_reduction_graph",
     "solve_game",
+    "explore_product",
     "coarsest_partition",
     "reachable_states",
     "find_quiescent",
