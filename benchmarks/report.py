@@ -35,6 +35,12 @@ curated A/B rows comparing the on-the-fly product core against the
 global oracle under one shared budget — pair counts, wall-clock and
 verdicts for both strategies, plus the intern-table hit rate.  In
 ``--quick`` mode the block uses the CI gate's 50k-pair pool.
+
+Schema 6 adds a ``"store"`` block (see ``bench_store.py``): the ledger
+pair corpus run cold then warm against a temporary
+:class:`~repro.store.VerdictStore` — hit/miss and reuse-by-budget
+counts, the wall-clock saved by the warm run, and whether the warm
+verdicts are byte-identical to the cold ones (they must be).
 """
 
 from __future__ import annotations
@@ -309,13 +315,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import cache_stats
 
         from benchmarks.bench_onthefly import ab_block
+        from benchmarks.bench_store import store_block
         payload = {
-            "schema": 5,
+            "schema": 6,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
             "lint": lint_block(),
             "onthefly": ab_block(quick=args.quick),
+            "store": store_block(quick=args.quick),
             "cache": cache_stats(),
             "obs": obs.snapshot(),
         }

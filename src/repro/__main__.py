@@ -19,6 +19,19 @@ canon "<process>"
 lint "<process>" [--select CODES] [--ignore CODES] [--format text|json]
     Static analysis (BP diagnostics); `--corpus` lints every apps/examples
     term instead.  Exit 0 clean, 1 findings, 2 parse failure.
+batch FILE [--store PATH] [--workers N] [--format text|json]
+    Answer many check requests (JSON-lines; `-` reads stdin), deduped
+    against each other and the store, misses fanned out over a process
+    pool.  Exit 0 all definite, 2 some UNKNOWN or malformed input.
+serve [--store PATH]
+    Long-lived line service: one JSON-lines request in, one JSON verdict
+    line out (flushed), until stdin closes.
+
+The decision paths (`eq`, `batch`, `serve`, `repro.api.check`) accept
+--store PATH: a persistent content-addressed verdict cache (sqlite).
+Cached definite verdicts answer any request with an equal-or-larger
+budget; cached UNKNOWNs only short-circuit equal-or-smaller budgets
+(see docs/service.md).
 
 Budget (before or after the subcommand):
 --max-states N  cap the number of explored states/pairs
@@ -98,14 +111,17 @@ def _cmd_eq(args: argparse.Namespace) -> int:
 
     budget = _budget_from(args)
     verdict = check(parse(args.p), parse(args.q), relation=args.relation,
-                    weak=args.weak, budget=budget, strategy=args.strategy)
+                    weak=args.weak, budget=budget, strategy=args.strategy,
+                    store=args.store)
     kind = ("weak " if args.weak else "strong ") + args.relation
+    cached = " [store]" if verdict.stats.get("store") == "hit" else ""
     if verdict.is_unknown:
         detail = (f" {verdict.evidence.summary()}"
                   if isinstance(verdict.evidence, PartialProduct) else "")
-        print(f"{kind}: UNKNOWN ({verdict.reason}){detail}")
+        print(f"{kind}: UNKNOWN ({verdict.reason}){detail}{cached}")
         return EXIT_UNKNOWN
-    print(f"{kind}: {'EQUIVALENT' if verdict.is_true else 'DIFFERENT'}")
+    word = "EQUIVALENT" if verdict.is_true else "DIFFERENT"
+    print(f"{kind}: {word}{cached}")
     return 0 if verdict.is_true else 1
 
 
@@ -164,6 +180,72 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.format_text())
     return 0 if report.ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import VerdictStore, parse_requests, run_batch
+    from .store.batch import RequestError
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.requests, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            print(f"batch: cannot read {args.requests}: {exc}",
+                  file=sys.stderr)
+            return EXIT_UNKNOWN
+    try:
+        requests = parse_requests(lines)
+    except RequestError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN
+    store = VerdictStore(args.store) if args.store else None
+    try:
+        outcome = run_batch(requests, store=store, workers=args.workers)
+    finally:
+        if store is not None:
+            store.close()
+    if args.format == "json":
+        payload = {
+            "results": [
+                {"id": r.request.id, "truth": r.verdict.truth.value,
+                 "reason": r.verdict.reason, "source": r.source}
+                for r in outcome.results],
+            "summary": {
+                "requests": len(outcome.results),
+                "store_hits": outcome.store_hits,
+                "computed": outcome.computed,
+                "deduped": outcome.deduped,
+                "workers": outcome.workers,
+                "degraded": outcome.degraded,
+                "seconds": round(outcome.seconds, 6)},
+            "store": outcome.store_stats,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for r in outcome.results:
+            print(f"{r.request.id or '-'}\t{r.verdict.truth.value}"
+                  f"\t{r.source}")
+        print(outcome.summary(), file=sys.stderr)
+    return 0 if outcome.all_definite else EXIT_UNKNOWN
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .store import VerdictStore
+    from .store.batch import serve as store_serve
+
+    store = VerdictStore(args.store) if args.store else None
+    try:
+        served = store_serve(sys.stdin, sys.stdout, store=store)
+    finally:
+        if store is not None:
+            store.close()
+    print(f"serve: answered {served} requests", file=sys.stderr)
+    return 0
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -237,6 +319,9 @@ def main(argv: list[str] | None = None) -> int:
         epilog=f"decision commands (eq, barb) exit 0 for a definite yes, "
                f"1 for a definite no and {EXIT_UNKNOWN} when the budget "
                f"tripped (UNKNOWN)")
+    from . import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     _add_obs_args(parser)
     _add_budget_args(parser)
     obs_parent = argparse.ArgumentParser(add_help=False)
@@ -273,6 +358,9 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["onthefly", "global"],
                    help="checker core for barbed/step/labelled "
                         "(default: onthefly)")
+    s.add_argument("--store", metavar="PATH", default=None,
+                   help="persistent verdict cache (sqlite); serves cached "
+                        "verdicts under the budget-aware reuse rule")
     s.set_defaults(func=_cmd_eq)
 
     s = sub.add_parser("barb", help="barb reachability (exit 0/1/2)",
@@ -291,6 +379,27 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("process")
     s.add_argument("--minimize", action="store_true")
     s.set_defaults(func=_cmd_graph)
+
+    s = sub.add_parser(
+        "batch", help="answer many check requests (JSON-lines) through "
+                      "the verdict store",
+        parents=[obs_parent])
+    s.add_argument("requests", metavar="FILE",
+                   help="JSON-lines request file, or '-' for stdin")
+    s.add_argument("--store", metavar="PATH", default=None,
+                   help="persistent verdict cache (sqlite)")
+    s.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="process-pool size for misses (0 = inline)")
+    s.add_argument("--format", default="text", choices=["text", "json"])
+    s.set_defaults(func=_cmd_batch)
+
+    s = sub.add_parser(
+        "serve", help="line service: JSON-lines requests on stdin, one "
+                      "JSON verdict per line on stdout",
+        parents=[obs_parent])
+    s.add_argument("--store", metavar="PATH", default=None,
+                   help="persistent verdict cache (sqlite)")
+    s.set_defaults(func=_cmd_serve)
 
     s = sub.add_parser(
         "lint", help="static analysis (exit 0 clean / 1 findings / 2 "

@@ -82,7 +82,8 @@ STRATEGY_RELATIONS = ("barbed", "step", "labelled")
 def check(p: "Process | str", q: "Process | str", *,
           relation: str = "labelled", weak: bool = False,
           budget: "Budget | Meter | None" = None,
-          strategy: "str | None" = None) -> Verdict:
+          strategy: "str | None" = None,
+          store: "Any | None" = None) -> Verdict:
     """Are *p* and *q* behaviourally equivalent?
 
     *relation* picks the checker — ``"barbed"``, ``"step"``,
@@ -96,11 +97,28 @@ def check(p: "Process | str", q: "Process | str", *,
     ``"onthefly"`` (the default) decides lazily over the product graph
     with up-to closures, ``"global"`` materialises the bounded state
     space first (the test oracle).
+
+    *store* (a path or an open
+    :class:`~repro.store.db.VerdictStore`) makes the call a thin client
+    of the persistent verdict cache: the budget-aware reuse rule may
+    serve the answer without searching, and a computed verdict is
+    recorded for later requests.  Verdicts served from the store carry
+    ``stats["store"] == "hit"``.
     """
     deciders = _relations()
     if relation not in deciders:
         raise ValueError(
             f"unknown relation {relation!r}; pick one of {RELATIONS}")
+    if store is not None:
+        from .store.db import VerdictStore
+        if isinstance(store, VerdictStore):
+            return store.check(_as_process(p), _as_process(q),
+                               relation=relation, weak=weak,
+                               strategy=strategy, budget=budget)
+        with VerdictStore(store) as opened:
+            return opened.check(_as_process(p), _as_process(q),
+                                relation=relation, weak=weak,
+                                strategy=strategy, budget=budget)
     kwargs: dict[str, Any] = {"budget": budget}
     if relation != "similar":
         kwargs["weak"] = weak

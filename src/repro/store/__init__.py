@@ -1,0 +1,43 @@
+"""Persistent content-addressed verdict cache + batch analysis service.
+
+Three layers (see ``docs/service.md``):
+
+* :mod:`repro.store.codec` — stable byte encoding of interned terms
+  (``decode(encode(p)) is p``) and the content addresses built on it;
+* :mod:`repro.store.db` — the sqlite-backed :class:`VerdictStore` with
+  the budget-aware reuse rule;
+* :mod:`repro.store.batch` — the deduplicating batch front end behind
+  ``repro batch`` / ``repro serve``.
+"""
+
+from .batch import (
+    BatchOutcome,
+    BatchResult,
+    CheckRequest,
+    evaluate_request,
+    parse_requests,
+    run_batch,
+    serve,
+)
+from .codec import CodecError, decode, encode, pair_key, state_digest, term_digest
+from .db import SCHEMA_VERSION, VerdictStore, equivalence_name, request_cap
+
+__all__ = [
+    "BatchOutcome",
+    "BatchResult",
+    "CheckRequest",
+    "CodecError",
+    "SCHEMA_VERSION",
+    "VerdictStore",
+    "decode",
+    "encode",
+    "equivalence_name",
+    "evaluate_request",
+    "pair_key",
+    "parse_requests",
+    "request_cap",
+    "run_batch",
+    "serve",
+    "state_digest",
+    "term_digest",
+]

@@ -274,3 +274,62 @@ def test_unknown_only_from_tripped_budget():
     # yield a definite answer.
     exc = BudgetExceeded("max-states", "boom")
     assert Verdict.from_exceeded(exc).is_unknown
+
+
+# -- budget monotonicity through the verdict store ---------------------------
+#
+# The store's reuse rule is monotonicity applied across process
+# lifetimes: a cached UNKNOWN recorded at cap B proves only that B was
+# insufficient, so it must never answer a request with budget > B; and a
+# definite verdict served from cache must be the verdict a direct check
+# would compute.
+
+class TestStoreBudgetMonotonicity:
+    GROWER = ("rec X(). tau.(a! | X)", "rec Y(). tau.(a! | a! | Y)")
+
+    def test_cached_unknown_never_answers_a_larger_budget(self):
+        from repro.store import VerdictStore
+        p, q = parse(self.GROWER[0]), parse(self.GROWER[1])
+        with VerdictStore(":memory:") as s:
+            v = s.check(p, q, strategy="global",
+                        budget=Budget(max_states=50))
+            assert v.is_unknown and v.reason == "max-states"
+            assert len(s) == 1  # the trip was cached...
+            # ...but a larger budget must fall through to recomputation:
+            assert s.lookup(p, q, strategy="global", cap=51) is None
+            assert s.lookup(p, q, strategy="global", cap=None) is None
+            # the on-the-fly default refutes this pair outright; the
+            # UNKNOWN row is keyed per-strategy and cannot shadow it
+            big = s.check(p, q, budget=Budget(max_states=10_000))
+            assert big.is_false
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(p=processes1, q=processes1, cap=st.integers(4, 60))
+    def test_definite_verdicts_never_flip_through_the_store(self, p, q, cap):
+        from repro.store import VerdictStore
+        small = Budget(max_states=cap)
+        direct_small = labelled_bisimilar(p, q, budget=small)
+        direct_big = labelled_bisimilar(p, q, budget=small.scaled(10))
+        with VerdictStore(":memory:") as s:
+            via_small = s.check(p, q, budget=small)
+            via_big = s.check(p, q, budget=small.scaled(10))
+        assert via_small.truth is direct_small.truth
+        if direct_small.is_definite:
+            # store-mediated or not, the larger budget agrees (and the
+            # second call was in fact a cache hit at a larger budget)
+            assert via_big.truth is direct_small.truth
+            assert via_big.stats.get("store") == "hit"
+        else:
+            assert via_big.truth is direct_big.truth
+
+    def test_served_unknown_keeps_reason_and_cannot_become_definite(self):
+        from repro.store import VerdictStore
+        p, q = parse(self.GROWER[0]), parse(self.GROWER[1])
+        with VerdictStore(":memory:") as s:
+            budget = Budget(max_states=50)
+            first = s.check(p, q, strategy="global", budget=budget)
+            again = s.check(p, q, strategy="global", budget=budget)
+            assert first.is_unknown
+            assert again.is_unknown and again.reason == first.reason
+            assert again.stats.get("store") == "hit"

@@ -117,3 +117,86 @@ class TestCliLint:
 
     def test_missing_term_exits_2(self, capsys):
         assert main(["lint"]) == 2
+
+
+class TestCliStore:
+    def test_version_flag(self, capsys):
+        import pytest
+        from repro import __version__
+        with pytest.raises(SystemExit) as ei:
+            main(["--version"])
+        assert ei.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_eq_store_warm_hit(self, tmp_path, capsys):
+        db = str(tmp_path / "v.sqlite")
+        assert main(["eq", "a?", "0", "--store", db]) == 0
+        assert "[store]" not in capsys.readouterr().out
+        assert main(["eq", "a?", "0", "--store", db]) == 0
+        assert "EQUIVALENT [store]" in capsys.readouterr().out
+
+    def test_batch_text_and_warm_json(self, tmp_path, capsys):
+        db = str(tmp_path / "v.sqlite")
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            '{"id": "t", "p": "a!", "q": "a!"}\n'
+            '# comment\n'
+            '{"id": "f", "p": "a!", "q": "b!"}\n')
+        assert main(["batch", str(reqs), "--store", db]) == 0
+        captured = capsys.readouterr()
+        assert "t\ttrue\tcomputed" in captured.out
+        assert "f\tfalse\tcomputed" in captured.out
+        assert "2 requests" in captured.err
+        assert main(["batch", str(reqs), "--store", db,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["store_hits"] == 2
+        assert payload["summary"]["computed"] == 0
+        assert [r["source"] for r in payload["results"]] == \
+            ["store", "store"]
+
+    def test_batch_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO('{"p": "a!", "q": "a!"}\n'))
+        assert main(["batch", "-"]) == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_batch_unknown_exits_2(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text('{"p": "rec X(). tau.(a! | X)", '
+                        '"q": "rec Y(). tau.(a! | a! | Y)", '
+                        '"strategy": "global", "max_states": 50}\n')
+        assert main(["batch", str(reqs)]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_batch_malformed_exits_2(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text('{"p": "a!"}\n')
+        assert main(["batch", str(reqs)]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_batch_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_example_request_file_is_valid(self, capsys):
+        from pathlib import Path
+        example = Path(__file__).resolve().parent.parent \
+            / "examples" / "batch_requests.jsonl"
+        from repro.store import parse_requests
+        reqs = parse_requests(example.read_text().splitlines())
+        assert len(reqs) == 10
+        ids = [r.id for r in reqs]
+        assert len(set(ids)) == 10 and all(ids)
+
+    def test_serve_cli(self, tmp_path, capsys, monkeypatch):
+        import io
+        db = str(tmp_path / "v.sqlite")
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"id": "s", "p": "a?", "q": "0"}\n'))
+        assert main(["serve", "--store", db]) == 0
+        captured = capsys.readouterr()
+        answer = json.loads(captured.out)
+        assert answer["truth"] == "true" and answer["id"] == "s"
+        assert "answered 1 requests" in captured.err

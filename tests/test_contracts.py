@@ -210,3 +210,58 @@ def test_src_repro_is_contract_clean():
 
 def test_cli_exit_status():
     assert cc.main([str(REPO / "src" / "repro")]) == 0
+
+
+# -- Rule C: pool workers must be verdict-level -----------------------------
+
+def worker_codes(src: str) -> list[str]:
+    # Rule C keys on the file name: pretend the source is store/batch.py.
+    return [v.rule for v in cc.check_source(src, "src/repro/store/batch.py")]
+
+
+def test_missing_worker_is_flagged():
+    assert "worker-not-verdict" in worker_codes("""
+def some_other_function():
+    pass
+""")
+
+
+def test_worker_without_verdict_annotation_is_flagged():
+    assert "worker-not-verdict" in worker_codes("""
+def evaluate_request(p, q):
+    return True
+""")
+
+
+def test_worker_with_wrong_annotation_is_flagged():
+    assert "worker-not-verdict" in worker_codes("""
+def evaluate_request(p, q) -> bool:
+    return True
+""")
+
+
+def test_verdict_level_worker_is_clean():
+    assert worker_codes("""
+def evaluate_request(p, q) -> Verdict:
+    try:
+        return check(p, q)
+    except BudgetExceeded as exc:
+        return Verdict.from_exceeded(exc)
+""") == []
+
+
+def test_string_annotated_worker_is_clean():
+    assert worker_codes("""
+def evaluate_request(p, q) -> "Verdict":
+    return check(p, q)
+""") == []
+
+
+def test_rule_c_only_applies_to_registered_files():
+    src = "def unrelated(): pass"
+    assert cc.check_source(src, "src/repro/equiv/labelled.py") == []
+
+
+def test_live_batch_worker_is_verdict_level():
+    violations = cc.check_file(REPO / "src" / "repro" / "store" / "batch.py")
+    assert violations == [], "\n".join(map(str, violations))

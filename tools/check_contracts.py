@@ -25,6 +25,15 @@ Rule B (``unguarded-explorer``)
     must do so inside a ``try`` with a ``BudgetExceeded`` handler —
     otherwise the exception escapes the verdict layer.
 
+Rule C (``worker-not-verdict``)
+    Pool-worker entry points (:data:`VERDICT_WORKERS`, e.g.
+    ``store/batch.py``'s ``evaluate_request``) must exist and be
+    annotated ``-> Verdict``.  Workers cross a ``concurrent.futures``
+    process boundary: a ``BudgetExceeded`` leaking there surfaces as a
+    broken future in the coordinator, not as an UNKNOWN verdict — so the
+    worker itself must be verdict-level (the annotation also opts the
+    function into Rules A/B).
+
 Run ``python tools/check_contracts.py`` (CI does); exit status 1 when a
 violation is found.  ``tests/test_contracts.py`` feeds the checker both
 the live tree and synthetic offenders.
@@ -61,6 +70,14 @@ RAW_EXPLORERS = frozenset({
 #: Facade modules translating trips into their own vocabulary
 #: (``Exploration(complete=False)``, CLI exit codes) instead of Verdicts.
 EXEMPT_FILES = frozenset({"api.py", "__main__.py"})
+
+#: Pool-worker entry points, by file name: these run on the far side of a
+#: ``concurrent.futures`` process boundary and must be verdict-level —
+#: defined, and annotated ``-> Verdict`` — so a tripped budget ships back
+#: as UNKNOWN data rather than an exception through the futures protocol.
+VERDICT_WORKERS: dict[str, frozenset[str]] = {
+    "batch.py": frozenset({"evaluate_request"}),
+}
 
 
 @dataclass(frozen=True)
@@ -218,7 +235,31 @@ def check_source(source: str, path: str = "<string>") -> list[Violation]:
         if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
                 and _returns_verdict(node)):
             _check_verdict_fn(node, path, violations)
+    _check_workers(tree, path, violations)
     return violations
+
+
+def _check_workers(tree: ast.Module, path: str,
+                   violations: list[Violation]) -> None:
+    """Rule C: required pool workers exist and are annotated -> Verdict."""
+    required = VERDICT_WORKERS.get(Path(path).name)
+    if not required:
+        return
+    defined = {node.name: node for node in ast.walk(tree)
+               if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    for name in sorted(required):
+        fn = defined.get(name)
+        if fn is None:
+            violations.append(Violation(
+                path, 1, "worker-not-verdict",
+                f"pool worker `{name}` must be defined in this module; "
+                f"it is the verdict-level core the process pool executes"))
+        elif not _returns_verdict(fn):
+            violations.append(Violation(
+                path, fn.lineno, "worker-not-verdict",
+                f"pool worker `{name}` must be annotated `-> Verdict`; a "
+                f"BudgetExceeded crossing the pool boundary breaks the "
+                f"future instead of degrading to UNKNOWN"))
 
 
 def check_file(path: Path) -> list[Violation]:
