@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""1-vs-N-worker A/B for the sharded frontier engine.
+
+One big exploration — ``build_step_lts(broadcast_star(N))``, the same
+workload as PR 1's interning A/B — is built serially and then with the
+frontier sharded across a process pool (:mod:`repro.lts.parallel`).
+Three things are reported:
+
+* **wall-clock** for each worker count (best of ``repeats``);
+* **identical_graph** — the sharded run must return bit-identical
+  states *and* edges (in order) to the serial run: the in-order merge
+  makes ``parallel == serial`` graph identity, the soundness invariant
+  everything else rests on;
+* **cpus** — ``os.cpu_count()`` of the measurement host.  True
+  wall-clock speedup needs real cores: on a single-CPU host the workers
+  time-slice one core and the codec/IPC tax makes the sharded run
+  *slower*; the block records that honestly rather than gating on it.
+
+``report.py`` embeds the result in BENCH_report.json (schema 7, key
+``"parallel"``); ``python benchmarks/bench_parallel.py --quick`` is the
+CI gate — exit 1 when the sharded graph differs from the serial one, or
+when a multi-core host (>= 2 CPUs) sees no speedup at all
+(``parallel >= SLOWDOWN_CEILING * serial``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+#: Star sizes: the full A/B workload and the CI smoke workload.
+FULL_STAR = 12
+QUICK_STAR = 10
+
+#: On a multi-core host the sharded run must at least not collapse: the
+#: gate fails when parallel wall-clock exceeds this multiple of serial.
+#: (A genuine speedup shows up as a ratio < 1.0; the ceiling only guards
+#: against pathological regressions, e.g. per-state IPC.)
+SLOWDOWN_CEILING = 1.5
+
+
+def _build(p, workers: int):
+    from repro.lts.graph import build_step_lts
+    return build_step_lts(p, workers=workers)
+
+
+def parallel_block(*, quick: bool = False, workers: int | None = None,
+                   repeats: int = 3) -> dict:
+    """The BENCH_report.json ``"parallel"`` block (schema 7)."""
+    from benchmarks.helpers import broadcast_star, time_call
+
+    from repro.core import clear_caches
+
+    star = QUICK_STAR if quick else FULL_STAR
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = max(2, min(4, cpus))
+    p = broadcast_star(star)
+
+    serial_lts, serial_root = _build(p, 0)
+    sharded_lts, sharded_root = _build(p, workers)
+    # Cold kernel caches per run: without this the first build memoizes
+    # step_transitions on the interned nodes and every later run — on
+    # either side of the A/B — times the cache, not the exploration.
+    serial = time_call(lambda: _build(p, 0), repeats=repeats,
+                       setup=clear_caches)
+    sharded = time_call(lambda: _build(p, workers), repeats=repeats,
+                        setup=clear_caches)
+
+    identical = (serial_root == sharded_root
+                 and serial_lts.states == sharded_lts.states
+                 and serial_lts.edges == sharded_lts.edges)
+    speedup = serial["best"] / sharded["best"] if sharded["best"] else 0.0
+    return {
+        "workload": f"broadcast_star({star})",
+        "n_states": serial_lts.n_states,
+        "n_edges": serial_lts.n_edges,
+        "cpus": cpus,
+        "identical_graph": identical,
+        "rows": [
+            {"workers": 1, "seconds": serial["best"],
+             "mean_seconds": serial["mean"]},
+            {"workers": workers, "seconds": sharded["best"],
+             "mean_seconds": sharded["mean"]},
+        ],
+        "speedup": speedup,
+        "note": ("single-CPU host: workers time-slice one core, so the "
+                 "codec/IPC tax shows as a slowdown; re-measure on >= 2 "
+                 "CPUs for the real A/B" if cpus < 2 else
+                 f"{cpus}-CPU host"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help=f"CI smoke: broadcast_star({QUICK_STAR}), "
+                         f"fewer repeats")
+    ap.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker count for the sharded side "
+                         "(default: min(4, cpus), at least 2)")
+    ap.add_argument("--json", action="store_true",
+                    help="print the block as JSON")
+    args = ap.parse_args(argv)
+
+    block = parallel_block(quick=args.quick, workers=args.workers,
+                           repeats=2 if args.quick else 3)
+    if args.json:
+        print(json.dumps(block, indent=2))
+    else:
+        rows = block["rows"]
+        print(f"{block['workload']}: {block['n_states']} states, "
+              f"{block['n_edges']} edges on {block['cpus']} cpu(s)")
+        for row in rows:
+            print(f"  workers={row['workers']}: {row['seconds']:.3f}s")
+        print(f"  speedup: {block['speedup']:.2f}x; identical graph: "
+              f"{block['identical_graph']}")
+
+    if not block["identical_graph"]:
+        print("FAIL: sharded graph differs from serial graph",
+              file=sys.stderr)
+        return 1
+    if block["cpus"] >= 2 and block["speedup"] < 1.0 / SLOWDOWN_CEILING:
+        print(f"FAIL: sharded run {1 / block['speedup']:.2f}x slower than "
+              f"serial on a {block['cpus']}-CPU host "
+              f"(ceiling {SLOWDOWN_CEILING}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,13 @@ pair corpus run cold then warm against a temporary
 :class:`~repro.store.VerdictStore` — hit/miss and reuse-by-budget
 counts, the wall-clock saved by the warm run, and whether the warm
 verdicts are byte-identical to the cold ones (they must be).
+
+Schema 7 adds a ``"parallel"`` block (see ``bench_parallel.py``): the
+1-vs-N-worker wall-clock A/B of the sharded frontier engine on
+``broadcast_star(12)`` (``broadcast_star(10)`` under ``--quick``), the
+``cpus`` of the measurement host, and whether the sharded graph is
+bit-identical to the serial one (it must be).  ``--workers N`` picks
+the sharded side's pool size.
 """
 
 from __future__ import annotations
@@ -263,6 +270,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="comma-separated experiment names to run")
     ap.add_argument("--quick", action="store_true",
                     help=f"run only the smoke subset {','.join(QUICK_ROWS)}")
+    ap.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker-pool size for the parallel A/B block "
+                         "(default: min(4, cpus), at least 2)")
     args = ap.parse_args(argv)
 
     selected = None
@@ -315,15 +325,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import cache_stats
 
         from benchmarks.bench_onthefly import ab_block
+        from benchmarks.bench_parallel import parallel_block
         from benchmarks.bench_store import store_block
         payload = {
-            "schema": 6,
+            "schema": 7,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
             "lint": lint_block(),
             "onthefly": ab_block(quick=args.quick),
             "store": store_block(quick=args.quick),
+            "parallel": parallel_block(quick=args.quick,
+                                       workers=args.workers),
             "cache": cache_stats(),
             "obs": obs.snapshot(),
         }

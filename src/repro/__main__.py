@@ -25,7 +25,17 @@ batch FILE [--store PATH] [--workers N] [--format text|json]
     pool.  Exit 0 all definite, 2 some UNKNOWN or malformed input.
 serve [--store PATH]
     Long-lived line service: one JSON-lines request in, one JSON verdict
-    line out (flushed), until stdin closes.
+    line out (flushed), until stdin closes.  Always exits 0 once stdin
+    is drained — malformed requests and UNKNOWN verdicts are reported
+    in-band as JSON lines (an ``{"error": ...}`` line per bad request),
+    never via the exit status, so a supervisor restarting on non-zero
+    exits does not bounce the service over one bad client line.  This
+    is deliberately different from `batch`, which exits 2 on any
+    UNKNOWN or malformed input.
+graph "<process>" [--minimize] [--workers N]
+    Print the step LTS as Graphviz DOT.  --workers >= 2 shards frontier
+    expansion across a process pool (docs/parallelism.md); exit 2 with
+    a truncated graph when the budget trips.
 
 The decision paths (`eq`, `batch`, `serve`, `repro.api.check`) accept
 --store PATH: a persistent content-addressed verdict cache (sqlite).
@@ -256,7 +266,8 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     try:
         lts, root = build_step_lts(parse(args.process),
                                    budget=_budget_from(args,
-                                                       default_states=2_000))
+                                                       default_states=2_000),
+                                   workers=args.workers)
     except BudgetExceeded as exc:
         lts, root = exc.partial
         truncated = exc.reason
@@ -318,7 +329,10 @@ def main(argv: list[str] | None = None) -> int:
         description="bpi-calculus tools (Ene & Muntean 2001)",
         epilog=f"decision commands (eq, barb) exit 0 for a definite yes, "
                f"1 for a definite no and {EXIT_UNKNOWN} when the budget "
-               f"tripped (UNKNOWN)")
+               f"tripped (UNKNOWN); batch exits 0 when every verdict is "
+               f"definite and {EXIT_UNKNOWN} otherwise; serve always "
+               f"exits 0 once stdin is drained (per-request errors are "
+               f"reported in-band, see 'serve --help')")
     from . import __version__
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
@@ -378,6 +392,10 @@ def main(argv: list[str] | None = None) -> int:
                        parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--minimize", action="store_true")
+    s.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="shard frontier expansion across N worker "
+                        "processes (0/1 = serial; the graph is identical "
+                        "either way)")
     s.set_defaults(func=_cmd_graph)
 
     s = sub.add_parser(
@@ -396,6 +414,13 @@ def main(argv: list[str] | None = None) -> int:
     s = sub.add_parser(
         "serve", help="line service: JSON-lines requests on stdin, one "
                       "JSON verdict per line on stdout",
+        description="Long-lived line service: one JSON-lines request in, "
+                    "one JSON verdict line out (flushed) until stdin "
+                    "closes.",
+        epilog="exit status: always 0 once stdin is drained — malformed "
+               "requests and UNKNOWN verdicts are reported in-band as "
+               "JSON lines, never via the exit status (unlike batch, "
+               f"which exits {EXIT_UNKNOWN})",
         parents=[obs_parent])
     s.add_argument("--store", metavar="PATH", default=None,
                    help="persistent verdict cache (sqlite)")

@@ -163,18 +163,25 @@ class Exploration:
 
 def explore(p: "Process | str", *,
             budget: "Budget | Meter | None" = None,
-            close_binders: bool = True) -> Exploration:
+            close_binders: bool = True,
+            workers: int = 0) -> Exploration:
     """Build the autonomous-step LTS of *p*, degrading gracefully.
 
     Unlike the raw :func:`~repro.lts.graph.build_step_lts` this never
     raises on a budget trip — the partial graph comes back with
     ``complete=False`` so callers can inspect what was reached.
+
+    ``workers >= 2`` shards frontier expansion across a process pool
+    (:mod:`repro.lts.parallel`); the graph — complete or truncated — is
+    identical to the serial one, and a dead pool degrades to serial
+    expansion, never to a wrong graph.
     """
     from .lts.graph import DEFAULT_BUDGET, build_step_lts
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     try:
         lts, root = build_step_lts(_as_process(p), budget=meter,
-                                   close_binders=close_binders)
+                                   close_binders=close_binders,
+                                   workers=workers)
     except BudgetExceeded as exc:
         lts, root = exc.partial
         return Exploration(lts=lts, root=root, complete=False,

@@ -1,0 +1,442 @@
+"""Sharded parallel frontier expansion for a *single* exploration.
+
+``repro batch`` (PR 7) parallelises across independent verdicts; this
+module parallelises *inside* one state-space search.  The design is a
+level-synchronous BFS with a strict owner split:
+
+* the **coordinator** (this process) owns the visited set, the state
+  numbering and the one shared :class:`~repro.engine.budget.Meter` —
+  nothing else ever dedups or charges;
+* **workers** (a ``ProcessPoolExecutor``) are stateless expanders: each
+  receives a disjoint batch of frontier states as
+  :mod:`repro.store.codec` bytes, re-interns them, fires the broadcast
+  semantics (:func:`step_transitions`) and ships back per-source edge
+  lists — labels as :func:`action_to_wire` tuples, targets as canonical
+  encoded bytes.
+
+Soundness (the ``docs/paper_map.md`` "parallel exploration" row): the
+semantics is applied per *state*, so expansion commutes with sharding —
+which worker expands a state cannot change its successor set.  The
+coordinator merges batch results **in dispatch order**, so states are
+discovered, numbered and charged in exactly the serial BFS order:
+``parallel == serial`` is graph *identity*, not mere isomorphism, and
+the PR-4 budget-monotonicity property holds with ``workers > 1`` for
+free.  Dedup happens on the coordinator by hash-consed identity of the
+decoded canonical term (``decode`` re-interns), never by worker-local
+guesswork.
+
+Degradation ladder (two-layer contract, never a silently wrong graph):
+
+* pool cannot be created (no ``fork``, sandboxed semaphores, ...) —
+  fall back to the serial explorer on the same meter
+  (``parallel.degraded`` counter, span attr ``degraded``);
+* a worker dies mid-run (``BrokenProcessPool``) — the coordinator
+  re-expands the lost batches inline and finishes correctly, degraded;
+* a shard trips its forwarded deadline slice, or the coordinator's
+  meter trips while merging — the whole exploration raises
+  :class:`BudgetExceeded` with the partial graph on ``exc.partial``,
+  which the verdict layer degrades to UNKNOWN.
+
+Cancellation note: a :class:`CancelToken` cannot cross a process
+boundary (pickling would copy the flag, not share it), so workers get a
+*deadline slice* only; the coordinator polls token + deadline between
+batch merges, bounding the reaction latency to one batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core.canonical import canonical_state, canonical_state_collapsed
+from ..core.semantics import step_transitions
+from ..core.syntax import Process
+from ..engine.budget import Budget, BudgetExceeded, Meter, resolve_meter
+from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
+from ..obs.state import STATE as _OBS
+
+__all__ = ["parallel_step_lts", "parallel_reachable_states", "expand_shard",
+           "MIN_BATCH", "OVERSPLIT"]
+
+#: Smallest batch worth a round-trip: below this the codec+IPC tax per
+#: state outweighs the expansion work being offloaded.
+MIN_BATCH = 8
+
+#: Batches per worker and level.  Oversplitting beyond one batch per
+#: worker is cheap insurance against skew: a worker that drew a cheap
+#: batch "steals" a queued one instead of idling while the slowest
+#: shard finishes (counted by ``parallel.steal``).
+OVERSPLIT = 4
+
+#: Exceptions that mean "this pool (or this worker) is unusable", as
+#: opposed to a bug in the expansion itself.  Same set the PR-7 batch
+#: service degrades on.
+_POOL_ERRORS = (BrokenProcessPool, OSError, PermissionError, RuntimeError,
+                ValueError)
+
+
+def expand_shard(payload: tuple) -> dict:
+    """Expand one batch of frontier states (pool entry point).
+
+    ``payload`` is ``(mode, opt, deadline_slice, blobs)`` where ``mode``
+    is ``"step"`` (opt = close_binders) or ``"reach"`` (opt = collapse),
+    ``deadline_slice`` is the seconds of wall clock this shard may
+    spend (``None`` = unwatched) and ``blobs`` the codec-encoded
+    sources.  Returns a wire dict::
+
+        {"targets": [unique target bytes...], "rows": [...],
+         "expanded": n, "tripped": None | "deadline", "seconds": wall}
+
+    with one row per *expanded* source — ``(action_wire, target_index)``
+    pairs for ``"step"``, bare ``target_index`` for ``"reach"`` — in
+    deterministic :func:`step_transitions` order.  Targets cross the
+    wire deduplicated through a per-batch table (most edges of a dense
+    graph point at already-seen states; hash-consing makes the worker's
+    dedup an identity lookup), so both sides pay codec cost per
+    *distinct* state, not per edge.  A shard that runs out of its
+    deadline slice returns the prefix it finished plus
+    ``tripped="deadline"``; it never raises, so a trip is data the
+    coordinator turns into :class:`BudgetExceeded`, not a pool crash.
+
+    Also the inline fallback: the coordinator calls this in-process for
+    batches a dead pool lost (decoding then re-interns against the
+    coordinator's own table, so the merge path is identical).
+    """
+    from ..store.codec import action_to_wire, decode, encode
+
+    mode, opt, deadline_slice, blobs = payload
+    t0 = time.monotonic()
+    deadline_at = None if deadline_slice is None else t0 + deadline_slice
+    table: list[bytes] = []
+    tindex: dict[Process, int] = {}
+
+    def tref(t: Process) -> int:
+        i = tindex.get(t)
+        if i is None:
+            i = len(table)
+            tindex[t] = i
+            table.append(encode(t))
+        return i
+
+    rows: list[list] = []
+    tripped: str | None = None
+    if mode == "reach":
+        from ..runtime.analysis import _closed_successors
+        canon = canonical_state_collapsed if opt else canonical_state
+    for blob in blobs:
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            tripped = "deadline"
+            break
+        src = decode(blob)
+        if mode == "step":
+            row: list = []
+            for action, target in step_transitions(src):
+                if opt:
+                    target = _close_binders(action, target)
+                row.append((action_to_wire(action),
+                            tref(canonical_state(target))))
+        else:
+            row = [tref(canon(target))
+                   for _, target in _closed_successors(src)]
+        rows.append(row)
+    return {"targets": table, "rows": rows, "expanded": len(rows),
+            "tripped": tripped, "seconds": time.monotonic() - t0}
+
+
+def _close_binders(action, target: Process) -> Process:
+    from .graph import _close_binders as impl
+    return impl(action, target)
+
+
+def _make_pool(workers: int) -> Executor:
+    """Create the worker pool (separate hook so tests can fail it)."""
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _deadline_slice(meter: Meter) -> float | None:
+    """Wall-clock seconds a shard dispatched *now* may spend.
+
+    Computed against the coordinator meter's budget; the worker re-bases
+    it on its own monotonic clock.  The coordinator's meter stays the
+    authority — this slice only stops a shard from burning wall clock
+    long after the whole exploration is due.
+    """
+    deadline = meter.budget.deadline
+    if deadline is None:
+        return None
+    return max(0.0, deadline - meter.elapsed())
+
+
+def _plan_batches(n: int, workers: int) -> int:
+    """Number of batches for a frontier of *n* states."""
+    if n <= MIN_BATCH:
+        return 1
+    by_size = -(-n // MIN_BATCH)          # ceil: keep batches >= MIN_BATCH
+    return max(1, min(workers * OVERSPLIT, by_size))
+
+
+def _split(items: list, n_batches: int) -> list[list]:
+    """Contiguous near-equal chunks, preserving discovery order."""
+    n = len(items)
+    base, extra = divmod(n, n_batches)
+    out = []
+    start = 0
+    for i in range(n_batches):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return [c for c in out if c]
+
+
+class _ShardStats:
+    """Coordinator-side tallies surfaced on the ``lts.parallel`` span."""
+
+    __slots__ = ("levels", "batches", "steal", "idle", "degraded")
+
+    def __init__(self) -> None:
+        self.levels = 0
+        self.batches = 0
+        self.steal = 0
+        self.idle = 0
+        self.degraded = False
+
+    def account_level(self, n_batches: int, workers: int) -> None:
+        self.levels += 1
+        self.batches += n_batches
+        steal = max(0, n_batches - workers)
+        idle = max(0, workers - n_batches)
+        self.steal += steal
+        self.idle += idle
+        if _OBS.enabled:
+            _metrics.inc("parallel.batches", n_batches)
+            if steal:
+                _metrics.inc("parallel.steal", steal)
+            if idle:
+                _metrics.inc("parallel.idle", idle)
+
+
+def _dispatch_level(pool_ref: list[Executor | None], payloads: list[tuple],
+                    stats: _ShardStats) -> list[dict]:
+    """Run one level's batches, in order, degrading inline on pool death.
+
+    Results come back positionally aligned with *payloads*; a batch whose
+    future failed (or that could not be submitted because the pool broke
+    earlier) is re-expanded inline by the coordinator — lost work is
+    redone, never dropped.
+    """
+    futures: list = [None] * len(payloads)
+    pool = pool_ref[0]
+    for i, payload in enumerate(payloads):
+        if pool is None:
+            break
+        try:
+            futures[i] = pool.submit(expand_shard, payload)
+        except _POOL_ERRORS:
+            stats.degraded = True
+            pool_ref[0] = pool = None
+    results: list[dict | None] = [None] * len(payloads)
+    for i, fut in enumerate(futures):
+        if fut is None:
+            continue
+        try:
+            results[i] = fut.result()
+        except _POOL_ERRORS:
+            stats.degraded = True
+            pool_ref[0] = None
+    for i, payload in enumerate(payloads):
+        if results[i] is None:
+            if _OBS.enabled:
+                _metrics.inc("parallel.degraded")
+            results[i] = expand_shard(payload)
+    return results  # type: ignore[return-value]
+
+
+def _shard_tripped(reason: str, meter: Meter) -> BudgetExceeded:
+    """Turn a worker-reported trip into the coordinator's exception.
+
+    ``meter.check()`` first: if the coordinator's own clock agrees the
+    deadline passed, the meter trips itself (recording the trip for any
+    shared consumers).  With an injected test clock the worker can trip
+    while the meter would not — still degrade, from the worker's report.
+    """
+    meter.check()
+    return BudgetExceeded(
+        reason, f"worker shard exhausted its {reason} slice",
+        stats=meter.stats())
+
+
+def parallel_step_lts(p: Process, *,
+                      budget: Budget | Meter | None = None,
+                      close_binders: bool = True,
+                      workers: int = 2) -> tuple:
+    """Sharded :func:`~repro.lts.graph.build_step_lts`; same contract.
+
+    Returns the *identical* ``(lts, root)`` the serial explorer builds —
+    same state numbering, same edge order, same charge sequence — so a
+    budget trip raises :class:`BudgetExceeded` with the same partial
+    graph on ``exc.partial``.  Raw-explorer layer: callers wanting
+    UNKNOWN-on-trip go through :func:`repro.api.explore`.
+    """
+    from ..store.codec import action_from_wire, decode, encode
+    from .graph import DEFAULT_BUDGET, LTS, build_step_lts
+
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    workers = max(1, int(workers))
+    with _tracing.span("lts.parallel") as sp:
+        sp.set(workers=workers)
+        try:
+            pool: Executor | None = _make_pool(workers)
+        except _POOL_ERRORS:
+            if _OBS.enabled:
+                _metrics.inc("parallel.degraded")
+            sp.set(degraded="pool-unavailable")
+            return build_step_lts(p, budget=meter,
+                                  close_binders=close_binders)
+        stats = _ShardStats()
+        pool_ref: list[Executor | None] = [pool]
+        lts = LTS()
+        root = lts.add_state(canonical_state(p))
+        try:
+            meter.charge()
+            frontier = [root]
+            while frontier:
+                n_batches = _plan_batches(len(frontier), workers)
+                sid_batches = _split(frontier, n_batches)
+                stats.account_level(n_batches, workers)
+                slice_s = _deadline_slice(meter)
+                payloads = [
+                    ("step", close_binders, slice_s,
+                     [encode(lts.states[sid]) for sid in batch])
+                    for batch in sid_batches]
+                results = _dispatch_level(pool_ref, payloads, stats)
+                frontier = []
+                for batch, result in zip(sid_batches, results):
+                    with _tracing.span("parallel.shard") as shard_sp:
+                        if _OBS.enabled:
+                            _metrics.observe("parallel.shard_seconds",
+                                             result["seconds"])
+                        targets = [decode(b) for b in result["targets"]]
+                        edges = 0
+                        for sid, row in zip(batch, result["rows"]):
+                            if _OBS.enabled:
+                                _metrics.inc("lts.states_expanded")
+                            for awire, tidx in row:
+                                tgt = targets[tidx]
+                                known = tgt in lts.index
+                                if not known:
+                                    meter.charge()
+                                tid = lts.add_state(tgt)
+                                lts.add_edge(sid, action_from_wire(awire),
+                                             tid)
+                                edges += 1
+                                if not known:
+                                    frontier.append(tid)
+                        shard_sp.set(sources=result["expanded"], edges=edges,
+                                     worker_seconds=result["seconds"])
+                    if result["tripped"]:
+                        raise _shard_tripped(result["tripped"], meter)
+                    meter.check()
+                    if _OBS.enabled:
+                        _progress.report(
+                            "lts.parallel", states=lts.n_states,
+                            edges=lts.n_edges, frontier=len(frontier))
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = (lts, root)
+            sp.set(budget_tripped=exc.reason)
+            raise
+        finally:
+            if pool_ref[0] is not None:
+                pool_ref[0].shutdown(wait=False, cancel_futures=True)
+            elif pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        if _OBS.enabled:
+            _metrics.inc("lts.edges_added", lts.n_edges)
+        sp.set(n_states=lts.n_states, n_edges=lts.n_edges,
+               levels=stats.levels, batches=stats.batches,
+               steal=stats.steal, idle=stats.idle)
+        if stats.degraded:
+            sp.set(degraded="pool-broken")
+    return lts, root
+
+
+def parallel_reachable_states(p: Process, *,
+                              budget: Budget | Meter | None = None,
+                              collapse: bool = True,
+                              workers: int = 2) -> list[Process]:
+    """Sharded :func:`~repro.runtime.analysis.reachable_states`.
+
+    Same contract and — by in-order merging — the identical state list
+    in the identical order; a trip raises :class:`BudgetExceeded` with
+    the prefix on ``exc.partial``.
+    """
+    from ..runtime.analysis import DEFAULT_BUDGET, reachable_states
+    from ..store.codec import decode, encode
+
+    meter = resolve_meter(budget, DEFAULT_BUDGET)
+    workers = max(1, int(workers))
+    with _tracing.span("reach.parallel") as sp:
+        sp.set(workers=workers)
+        try:
+            pool: Executor | None = _make_pool(workers)
+        except _POOL_ERRORS:
+            if _OBS.enabled:
+                _metrics.inc("parallel.degraded")
+            sp.set(degraded="pool-unavailable")
+            return reachable_states(p, budget=meter, collapse=collapse)
+        stats = _ShardStats()
+        pool_ref: list[Executor | None] = [pool]
+        canon = canonical_state_collapsed if collapse else canonical_state
+        start = canon(p)
+        order = [start]
+        try:
+            meter.charge()
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                n_batches = _plan_batches(len(frontier), workers)
+                term_batches = _split(frontier, n_batches)
+                stats.account_level(n_batches, workers)
+                slice_s = _deadline_slice(meter)
+                payloads = [("reach", collapse, slice_s,
+                             [encode(s) for s in batch])
+                            for batch in term_batches]
+                results = _dispatch_level(pool_ref, payloads, stats)
+                frontier = []
+                for result in results:
+                    if _OBS.enabled:
+                        _metrics.observe("parallel.shard_seconds",
+                                         result["seconds"])
+                    targets = [decode(b) for b in result["targets"]]
+                    for row in result["rows"]:
+                        for tidx in row:
+                            key = targets[tidx]
+                            if key in seen:
+                                continue
+                            meter.charge()
+                            seen.add(key)
+                            order.append(key)
+                            frontier.append(key)
+                    if result["tripped"]:
+                        raise _shard_tripped(result["tripped"], meter)
+                    meter.check()
+                    if _OBS.enabled:
+                        _progress.report("reach.parallel",
+                                         states=len(order),
+                                         frontier=len(frontier))
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = order
+            sp.set(budget_tripped=exc.reason)
+            raise
+        finally:
+            if pool_ref[0] is not None:
+                pool_ref[0].shutdown(wait=False, cancel_futures=True)
+            elif pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        sp.set(n_states=len(order), levels=stats.levels,
+               batches=stats.batches, steal=stats.steal, idle=stats.idle)
+        if stats.degraded:
+            sp.set(degraded="pool-broken")
+    return order

@@ -72,14 +72,21 @@ def _closed_successors(state: Process) -> Iterator[tuple[bool, Process]]:
 
 def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
                      collapse: bool = True,
-                     max_states: int | None = None) -> list[Process]:
+                     max_states: int | None = None,
+                     workers: int = 0) -> list[Process]:
     """All reachable canonical states (BFS, budget-governed).
 
     Raw-explorer contract: a budget trip raises
     :class:`~repro.engine.budget.BudgetExceeded` with the states found so
-    far on ``exc.partial``.
+    far on ``exc.partial``.  ``workers >= 2`` shards the frontier across
+    a process pool (:mod:`repro.lts.parallel`) and returns the identical
+    list in the identical order.
     """
     budget = legacy_cap("reachable_states", budget, max_states=max_states)
+    if workers >= 2:
+        from ..lts.parallel import parallel_reachable_states
+        return parallel_reachable_states(p, budget=budget,
+                                         collapse=collapse, workers=workers)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
     start = canon(p)
@@ -113,7 +120,8 @@ def find_quiescent(p: Process, **kw) -> list[Process]:
 
 def can_diverge(p: Process, *, budget: Budget | Meter | None = None,
                 collapse: bool = True,
-                max_states: int | None = None) -> Verdict:
+                max_states: int | None = None,
+                workers: int = 0) -> Verdict:
     """Is a tau-only cycle reachable?  (Infinite internal chatter.)
 
     ``UNKNOWN`` when the reachable set is truncated by the budget — an
@@ -123,7 +131,8 @@ def can_diverge(p: Process, *, budget: Budget | Meter | None = None,
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
     try:
-        states = reachable_states(p, budget=meter, collapse=collapse)
+        states = reachable_states(p, budget=meter, collapse=collapse,
+                                  workers=workers)
     except BudgetExceeded as exc:
         return Verdict.from_exceeded(exc)
     index = {s: i for i, s in enumerate(states)}
@@ -159,7 +168,8 @@ def can_diverge(p: Process, *, budget: Budget | Meter | None = None,
 def invariant_holds(p: Process, predicate: Predicate, *,
                     budget: Budget | Meter | None = None,
                     collapse: bool = True, max_states: int | None = None,
-                    witness: list | None = None) -> Verdict:
+                    witness: list | None = None,
+                    workers: int = 0) -> Verdict:
     """Does *predicate* hold in every reachable state?
 
     ``FALSE`` carries the violating state as evidence (and appends it to
@@ -169,7 +179,8 @@ def invariant_holds(p: Process, predicate: Predicate, *,
     budget = legacy_cap("invariant_holds", budget, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     try:
-        for s in reachable_states(p, budget=meter, collapse=collapse):
+        for s in reachable_states(p, budget=meter, collapse=collapse,
+                                  workers=workers):
             if not predicate(s):
                 if witness is not None:
                     witness.append(s)
@@ -189,7 +200,8 @@ def invariant_holds(p: Process, predicate: Predicate, *,
 def eventually_always(p: Process, predicate: Predicate, *,
                       budget: Budget | Meter | None = None,
                       collapse: bool = True,
-                      max_states: int | None = None) -> Verdict:
+                      max_states: int | None = None,
+                      workers: int = 0) -> Verdict:
     """Does *predicate* hold in every reachable *quiescent* state?
 
     Vacuously true when the system never quiesces within the bound;
@@ -198,7 +210,8 @@ def eventually_always(p: Process, predicate: Predicate, *,
     budget = legacy_cap("eventually_always", budget, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     try:
-        quiescent = find_quiescent(p, budget=meter, collapse=collapse)
+        quiescent = find_quiescent(p, budget=meter, collapse=collapse,
+                                   workers=workers)
     except BudgetExceeded as exc:
         for s in (exc.partial or ()):
             if not step_transitions(s) and not predicate(s):

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -53,6 +55,14 @@ class TestCli:
         assert main(["graph", "tau.(a! | 0) + tau.(0 | a!)",
                      "--minimize"]) == 0
         assert "B0" in capsys.readouterr().out
+
+    def test_graph_workers_identical_dot(self, capsys):
+        # sharded exploration must emit the very same DOT text: the
+        # in-order merge makes the graph (numbering, edge order) identical
+        assert main(["graph", "a<v> | a(x).r<x>"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["graph", "a<v> | a(x).r<x>", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_bad_syntax_exits_2_with_caret(self, capsys):
         # parse failures are reported, not raised: message + caret excerpt
@@ -200,3 +210,25 @@ class TestCliStore:
         answer = json.loads(captured.out)
         assert answer["truth"] == "true" and answer["id"] == "s"
         assert "answered 1 requests" in captured.err
+
+    def test_serve_always_exits_0_errors_in_band(self, capsys, monkeypatch):
+        # the documented contract (docs/service.md, `serve --help`):
+        # serve exits 0 once stdin is drained; malformed requests become
+        # {"error": ...} lines in the output stream — unlike `batch`,
+        # which exits 2 on any non-definite outcome.
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            'this is not json\n{"id": "ok", "p": "a?", "q": "0"}\n'))
+        assert main(["serve"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(ln) for ln in lines)
+        assert "error" in first and first["line"] == 1
+        assert second["id"] == "ok" and second["truth"] == "true"
+
+    def test_serve_help_documents_exit_status(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["serve", "--help"])
+        assert ei.value.code == 0
+        text = capsys.readouterr().out.lower()
+        assert "exit" in text and "always" in text and "0" in text

@@ -1,8 +1,26 @@
-"""Documentation integrity: every relative link in docs/*.md (and the
-top-level README, if present) must resolve, including #anchors into
-markdown headings.  This is what the CI docs job runs."""
+"""Documentation integrity — what the CI docs job runs.
+
+Two guarantees:
+
+* every relative link in docs/*.md (and the top-level README) resolves,
+  including #anchors into markdown headings;
+* every ```python fenced block **executes** — blocks in one file run in
+  order sharing a namespace, so a tutorial can build on earlier snippets.
+  A block that genuinely cannot run in CI (long-running, illustrative
+  fragment) must carry an explicit opt-out on the line above its fence:
+
+      <!-- docs-exec: skip (reason) -->
+      ```python
+
+  Skipped blocks are still compiled, so they cannot rot into syntax
+  errors.  Execution happens in a temp cwd (snippets may write trace
+  files), with warnings silenced and global registries (lint passes,
+  obs state) restored afterwards.
+"""
 
 import re
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
@@ -70,3 +88,89 @@ def test_link_resolves(doc, target):
             f"{doc.name}: anchor on non-markdown target {target!r}"
         assert anchor in heading_slugs(dest), \
             f"{doc.name}: no heading for anchor #{anchor} in {dest.name}"
+
+
+# -- executable documentation ------------------------------------------------
+
+SKIP_RE = re.compile(r"<!--\s*docs-exec:\s*skip\b([^>]*)-->")
+
+
+@dataclass(frozen=True)
+class DocBlock:
+    doc: Path
+    lineno: int          # 1-based line of the opening fence
+    code: str
+    skip: str | None     # reason text when the block opted out
+
+
+def python_blocks(doc: Path) -> list[DocBlock]:
+    blocks = []
+    lines = doc.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == "```python":
+            indent = len(lines[i]) - len(lines[i].lstrip())
+            skip = None
+            for back in (i - 1, i - 2):       # marker may sit above a blank
+                if back >= 0 and (m := SKIP_RE.search(lines[back])):
+                    skip = m.group(1).strip() or "unspecified"
+                    break
+                if back >= 0 and lines[back].strip():
+                    break
+            j = i + 1
+            while j < len(lines) and lines[j].strip() != "```":
+                j += 1
+            assert j < len(lines), f"{doc.name}:{i + 1}: unclosed fence"
+            code = "\n".join(ln[indent:] if ln[:indent].isspace() or not
+                             ln[:indent] else ln
+                             for ln in lines[i + 1:j])  # fences may be
+            blocks.append(DocBlock(doc, i + 1, code, skip))  # list-indented
+            i = j
+        i += 1
+    return blocks
+
+
+ALL_BLOCKS = [b for doc in DOC_FILES for b in python_blocks(doc)]
+EXEC_DOCS = sorted({b.doc for b in ALL_BLOCKS if b.skip is None},
+                   key=str)
+
+
+def test_docs_have_python_blocks():
+    assert len(ALL_BLOCKS) >= 20, "expected the docs to carry examples"
+
+
+@pytest.mark.parametrize(
+    "block", ALL_BLOCKS,
+    ids=[f"{b.doc.name}:{b.lineno}" for b in ALL_BLOCKS])
+def test_block_compiles(block):
+    # even opted-out blocks must stay valid Python
+    compile(block.code, f"{block.doc.name}:{block.lineno}", "exec")
+
+
+@pytest.mark.parametrize(
+    "doc", EXEC_DOCS, ids=[d.name for d in EXEC_DOCS])
+def test_doc_blocks_execute(doc, tmp_path, monkeypatch):
+    """Run the file's snippets in order, sharing one namespace."""
+    from repro import obs
+    from repro.lint import PASS_REGISTRY
+
+    monkeypatch.chdir(tmp_path)   # snippets may write trace/db files
+    registry_before = dict(PASS_REGISTRY)
+    namespace: dict = {"__name__": "__docs__"}
+    try:
+        for block in python_blocks(doc):
+            if block.skip is not None:
+                continue
+            code = compile(block.code,
+                           f"{doc.name}:{block.lineno}", "exec")
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    exec(code, namespace)
+            except Exception as exc:  # noqa: BLE001 - report with location
+                pytest.fail(f"{doc.name}:{block.lineno}: example raised "
+                            f"{type(exc).__name__}: {exc}")
+    finally:
+        PASS_REGISTRY.clear()
+        PASS_REGISTRY.update(registry_before)
+        obs.reset()

@@ -1,0 +1,314 @@
+"""Sharded parallel frontier exploration (repro.lts.parallel).
+
+The engine's invariant is *graph identity*: the sharded explorer must
+return bit-for-bit the serial explorer's result — same state numbering,
+same edge order, same partial graph on a budget trip — because the
+coordinator merges worker batches in serial discovery order and owns
+the only meter.  Most tests here assert exactly that, plus the
+degradation ladder (dead pool -> inline re-expansion; tripped shard ->
+BudgetExceeded with partial evidence).
+"""
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.lts.parallel as par
+from repro.core.builder import choice, inp, nu, out, par as ppar, tau
+from repro.core.parser import parse
+from repro.engine import Budget, BudgetExceeded, CancelToken
+from repro.lts.graph import build_step_lts
+from repro.lts.parallel import (
+    MIN_BATCH,
+    _plan_batches,
+    _split,
+    expand_shard,
+    parallel_reachable_states,
+    parallel_step_lts,
+)
+from repro.runtime.analysis import reachable_states
+from repro.store.codec import CodecError, action_from_wire, action_to_wire
+from tests.strategies import processes1
+
+
+def star(n: int):
+    """One sender, n receivers (the bench workload, small)."""
+    return ppar(out("a", "v"),
+                *[inp("a", (f"x{i}",), out(f"r{i}", f"x{i}"))
+                  for i in range(n)])
+
+
+WORKLOADS = [
+    star(5),
+    parse("nu b a<b>.b! | a(x).x!"),          # bound-output extrusion
+    parse("tau.(a! | 0) + tau.(0 | a!)"),      # congruent duplicates
+    choice(tau(out("a", "v")), tau(tau(out("b", "w")))),
+    nu("c", ppar(out("c", "v"), inp("c", ("x",), out("d", "x")))),
+]
+
+
+class TestActionWire:
+    def test_roundtrip_all_kinds(self):
+        from repro.core.actions import TAU, InputAction, OutputAction
+        for action in (TAU, InputAction("a", ("x", "y")),
+                       OutputAction("a", ("v",)),
+                       OutputAction("a", ("b", "v"), ("b",))):
+            wire = action_to_wire(action)
+            assert action_from_wire(wire) == action
+        assert action_from_wire(action_to_wire(TAU)) is TAU
+
+    def test_rejects_junk(self):
+        with pytest.raises(CodecError):
+            action_to_wire("not an action")
+        for bad in ((), ("frobnicate",), ("in", "a"), "tau", None,
+                    ("out", "a", ("a",), ("a",))):  # subject extruded
+            with pytest.raises(CodecError):
+                action_from_wire(bad)
+
+
+class TestBatchPlanning:
+    def test_tiny_frontier_is_one_batch(self):
+        assert _plan_batches(1, 4) == 1
+        assert _plan_batches(MIN_BATCH, 4) == 1
+
+    def test_oversplit_is_capped(self):
+        assert _plan_batches(10_000, 2) == 2 * par.OVERSPLIT
+
+    def test_batches_stay_above_min_batch(self):
+        n = MIN_BATCH * 2 + 1
+        assert _plan_batches(n, 8) <= -(-n // MIN_BATCH)
+
+    def test_split_preserves_order_and_content(self):
+        items = list(range(23))
+        chunks = _split(items, 4)
+        assert [x for c in chunks for x in c] == items
+        assert all(chunks)
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+
+class TestGraphIdentity:
+    @pytest.mark.parametrize("p", WORKLOADS)
+    def test_step_lts_identical(self, p):
+        s_lts, s_root = build_step_lts(p)
+        p_lts, p_root = parallel_step_lts(p, workers=2)
+        assert s_root == p_root
+        assert s_lts.states == p_lts.states
+        assert s_lts.edges == p_lts.edges
+        assert s_lts.n_edges == p_lts.n_edges
+
+    def test_states_are_the_same_interned_objects(self):
+        # decode() re-interns: the sharded graph's states are not copies
+        # but the coordinator's own hash-consed nodes.
+        s_lts, _ = build_step_lts(star(4))
+        p_lts, _ = build_step_lts(star(4), workers=2)
+        assert all(a is b for a, b in zip(s_lts.states, p_lts.states))
+
+    def test_workers_three_and_no_close_binders(self):
+        p = parse("nu b a<b>.b! | a(x).x!")
+        s = build_step_lts(p, close_binders=False)
+        q = parallel_step_lts(p, close_binders=False, workers=3)
+        assert s[0].states == q[0].states and s[0].edges == q[0].edges
+
+    @pytest.mark.parametrize("collapse", [True, False])
+    def test_reachable_states_identical(self, collapse):
+        p = star(5)
+        assert (reachable_states(p, collapse=collapse)
+                == parallel_reachable_states(p, collapse=collapse,
+                                             workers=2))
+
+    def test_build_step_lts_workers_kwarg_delegates(self):
+        s = build_step_lts(star(3))
+        q = build_step_lts(star(3), workers=2)
+        assert s[0].states == q[0].states and s[0].edges == q[0].edges
+
+
+class TestTripBehaviour:
+    def test_max_states_partial_graph_identical(self):
+        p = star(6)
+        with pytest.raises(BudgetExceeded) as serial_ei:
+            build_step_lts(p, budget=Budget(max_states=23))
+        with pytest.raises(BudgetExceeded) as sharded_ei:
+            parallel_step_lts(p, budget=Budget(max_states=23), workers=2)
+        s_lts, s_root = serial_ei.value.partial
+        p_lts, p_root = sharded_ei.value.partial
+        assert sharded_ei.value.reason == "max-states"
+        assert s_root == p_root
+        assert s_lts.states == p_lts.states
+        assert s_lts.edges == p_lts.edges
+
+    def test_reach_partial_prefix_identical(self):
+        p = star(6)
+        with pytest.raises(BudgetExceeded) as serial_ei:
+            reachable_states(p, budget=Budget(max_states=17))
+        with pytest.raises(BudgetExceeded) as sharded_ei:
+            parallel_reachable_states(p, budget=Budget(max_states=17),
+                                      workers=2)
+        assert serial_ei.value.partial == sharded_ei.value.partial
+
+    def test_cancellation_degrades_with_partial(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(BudgetExceeded) as ei:
+            parallel_step_lts(star(5), budget=Budget(cancel=token),
+                              workers=2)
+        assert ei.value.reason == "cancelled"
+        lts, root = ei.value.partial
+        assert root == 0 and lts.n_states >= 1
+
+    def test_explore_facade_truncates(self):
+        import repro
+        ex = repro.explore(star(6), budget=repro.Budget(max_states=23),
+                           workers=2)
+        assert not ex.complete and ex.reason == "max-states"
+        assert ex.n_states == 23
+        full = repro.explore(star(6), workers=2)
+        assert full.complete and full.states[:23] == ex.states
+
+
+class _ImmediateFuture:
+    def __init__(self, value=None, exc=None):
+        self._value, self._exc = value, exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class _FakePool:
+    """An executor whose submit() is scripted per test."""
+
+    def __init__(self, run):
+        self._run = run
+        self.submitted = 0
+
+    def submit(self, fn, payload):
+        self.submitted += 1
+        return self._run(fn, payload)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestDegradation:
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        def no_pool(workers):
+            raise OSError("no semaphores in this sandbox")
+        monkeypatch.setattr(par, "_make_pool", no_pool)
+        s = build_step_lts(star(5))
+        q = parallel_step_lts(star(5), workers=2)
+        assert s[0].states == q[0].states and s[0].edges == q[0].edges
+        r = parallel_reachable_states(star(5), workers=2)
+        assert r == reachable_states(star(5))
+
+    def test_broken_futures_are_reexpanded_inline(self, monkeypatch):
+        dead = _FakePool(lambda fn, payload: _ImmediateFuture(
+            exc=BrokenProcessPool("worker died")))
+        monkeypatch.setattr(par, "_make_pool", lambda workers: dead)
+        s = build_step_lts(star(5))
+        q = parallel_step_lts(star(5), workers=2)
+        assert s[0].states == q[0].states and s[0].edges == q[0].edges
+        assert dead.submitted >= 1  # it did try the pool first
+
+    def test_submit_raising_degrades_inline(self, monkeypatch):
+        def explode(fn, payload):
+            raise BrokenProcessPool("pool shut down")
+        monkeypatch.setattr(par, "_make_pool",
+                            lambda workers: _FakePool(explode))
+        s = reachable_states(star(5))
+        assert parallel_reachable_states(star(5), workers=2) == s
+
+    def test_degraded_still_respects_budget(self, monkeypatch):
+        dead = _FakePool(lambda fn, payload: _ImmediateFuture(
+            exc=BrokenProcessPool("worker died")))
+        monkeypatch.setattr(par, "_make_pool", lambda workers: dead)
+        with pytest.raises(BudgetExceeded) as ei:
+            parallel_step_lts(star(6), budget=Budget(max_states=23),
+                              workers=2)
+        with pytest.raises(BudgetExceeded) as serial_ei:
+            build_step_lts(star(6), budget=Budget(max_states=23))
+        assert (ei.value.partial[0].states
+                == serial_ei.value.partial[0].states)
+
+
+class TestShardTrips:
+    def test_expand_shard_deadline_slice(self):
+        from repro.store.codec import encode
+        payload = ("step", True, 0.0, [encode(parse("a!"))])
+        result = expand_shard(payload)
+        assert result["tripped"] == "deadline"
+        assert result["expanded"] == 0 and result["rows"] == []
+
+    def test_expand_shard_no_deadline_expands_all(self):
+        from repro.store.codec import encode
+        payload = ("step", True, None,
+                   [encode(parse("a!")), encode(parse("tau.b!"))])
+        result = expand_shard(payload)
+        assert result["tripped"] is None and result["expanded"] == 2
+        assert len(result["rows"]) == 2
+
+    def test_tripped_shard_degrades_whole_exploration(self, monkeypatch):
+        tripping = _FakePool(lambda fn, payload: _ImmediateFuture(value={
+            "targets": [], "rows": [], "expanded": 0,
+            "tripped": "deadline", "seconds": 0.0}))
+        monkeypatch.setattr(par, "_make_pool", lambda workers: tripping)
+        with pytest.raises(BudgetExceeded) as ei:
+            parallel_step_lts(star(4), workers=2)
+        assert ei.value.reason == "deadline"
+        lts, root = ei.value.partial  # partial evidence: the root only
+        assert root == 0 and lts.n_states == 1
+
+    def test_tripped_shard_reach_keeps_prefix(self, monkeypatch):
+        tripping = _FakePool(lambda fn, payload: _ImmediateFuture(value={
+            "targets": [], "rows": [], "expanded": 0,
+            "tripped": "deadline", "seconds": 0.0}))
+        monkeypatch.setattr(par, "_make_pool", lambda workers: tripping)
+        with pytest.raises(BudgetExceeded) as ei:
+            parallel_reachable_states(star(4), workers=2)
+        assert ei.value.reason == "deadline"
+        assert len(ei.value.partial) == 1  # the start state
+
+
+class TestBudgetMonotonicity:
+    """PR 4's monotonicity property must survive sharding: the
+    coordinator charges in serial discovery order, so a definite verdict
+    at budget B never flips at 10*B with workers > 1 — and the sharded
+    verdict agrees exactly with the serial one at the *same* cap."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(p=processes1, cap=st.integers(2, 40))
+    def test_invariant_holds_monotone_with_workers(self, p, cap):
+        from repro.runtime.analysis import invariant_holds
+        small = Budget(max_states=cap)
+        v_small = invariant_holds(p, lambda s: True, budget=small,
+                                  workers=2)
+        v_big = invariant_holds(p, lambda s: True,
+                                budget=small.scaled(10), workers=2)
+        if v_small.is_definite:
+            assert v_big.truth == v_small.truth
+        v_serial = invariant_holds(p, lambda s: True,
+                                   budget=Budget(max_states=cap))
+        assert v_small.truth == v_serial.truth
+        assert v_small.reason == v_serial.reason
+
+
+class TestObservability:
+    def test_counters_and_spans(self):
+        from repro import obs
+        obs.reset()
+        obs.enable()
+        try:
+            parallel_step_lts(star(5), workers=2)
+            from repro.obs.metrics import counter_value
+            assert counter_value("parallel.batches") >= 1
+            # steal + idle partition every level's worker-slot ledger
+            assert (counter_value("parallel.steal")
+                    + counter_value("parallel.idle")) >= 0
+            spans = obs.snapshot()["spans"]  # {name: aggregates}
+            assert "lts.parallel" in spans
+            assert "parallel.shard" in spans
+        finally:
+            obs.disable()
+            obs.reset()
