@@ -48,6 +48,13 @@ Schema 7 adds a ``"parallel"`` block (see ``bench_parallel.py``): the
 ``cpus`` of the measurement host, and whether the sharded graph is
 bit-identical to the serial one (it must be).  ``--workers N`` picks
 the sharded side's pool size.
+
+Schema 8 adds the calculus-backend rows: ``LOSSY1`` / ``WIFI1`` pin the
+non-default semantics (noisy-channel hierarchy, topology-bounded
+broadcast), and the backend-generic rows ``B1`` / ``B2`` (dichotomy,
+UNKNOWN-on-trip) run under whichever backend ``--calculus SPEC`` selects
+— CI smokes the ledger a second time under ``--calculus lossy``.  The
+lint block records the backend it linted the corpus with.
 """
 
 from __future__ import annotations
@@ -65,7 +72,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 EXPERIMENTS: list[tuple[str, str, Callable[[], bool]]] = []
 
 #: The cheap subset exercised by CI's smoke run.
-QUICK_ROWS = ("T2/T3", "R1", "R2", "TH1", "EX1")
+QUICK_ROWS = ("T2/T3", "R1", "R2", "TH1", "EX1", "B1", "B2")
+
+#: Backend spec the backend-generic rows (B1, B2) and the lint block run
+#: under; set from ``--calculus`` (CI smokes the ledger under "lossy").
+CALCULUS = "bpi"
 
 
 def experiment(name: str, claim: str):
@@ -125,12 +136,12 @@ def _r4() -> bool:
     from repro.core.parser import parse
     from repro.equiv.congruence import congruent
     from repro.equiv.labelled import strong_bisimilar
-    from repro.equiv.noisy import noisy_similar
+    from repro.equiv.noisy import strict_bisimilar
     pr3 = parse("x!.y?.c! + y?.(x! | c!)")
     qr3 = parse("x! | y?.c!")
     return (strong_bisimilar(parse("a?"), parse("b?"))
-            and not noisy_similar(parse("a?"), parse("b?"))
-            and noisy_similar(pr3, qr3) and not congruent(pr3, qr3))
+            and not strict_bisimilar(parse("a?"), parse("b?"))
+            and strict_bisimilar(pr3, qr3) and not congruent(pr3, qr3))
 
 
 @experiment("TH1", "the three equivalences agree (curated pairs)")
@@ -234,7 +245,56 @@ def _pi() -> bool:
                                             parse("nu a a<b>.c<d>")))
 
 
-def lint_block() -> dict:
+@experiment("B1", "input/discard dichotomy holds under the selected backend")
+def _b1() -> bool:
+    from repro.calculi import registry
+    from repro.calculi.backend import dichotomy_channels
+    from repro.core.parser import parse
+    backend = registry.resolve(CALCULUS)
+    pool = ("a? | b!", "a?.c! + b?", "nu a (a? | b?)", "tau.a?",
+            "[a=a]{b?}{c?} | a!", "a! | (b? | c?.a!)")
+    ok = True
+    for src in pool:
+        p = parse(src)
+        for a in sorted(dichotomy_channels(p, ("probe",))):
+            ok &= bool(backend.input_continuations(p, a, ())) \
+                == (not backend.discards(p, a))
+    return ok
+
+
+@experiment("B2", "tripped budgets degrade to UNKNOWN under the selected backend")
+def _b2() -> bool:
+    from repro import check
+    from repro.engine import Budget
+    p, q = "tau.tau.tau.tau.a!", "tau.tau.tau.tau.b!"
+    tripped = check(p, q, budget=Budget(max_states=2), calculus=CALCULUS)
+    settled = check(p, q, calculus=CALCULUS)
+    return tripped.is_unknown and settled.is_false
+
+
+@experiment("LOSSY1", "noisy-channel hierarchy is strict in both directions")
+def _lossy1() -> bool:
+    from repro import check
+    lossy_equates = ("a(x).c!", "a(x).c! + a(x).a(x).c!")
+    reliable_equates = ("a?.c! | a?.d!", "a?.(c! | d!)")
+    return (check(*lossy_equates, calculus="lossy").is_true
+            and check(*lossy_equates).is_false
+            and check(*reliable_equates).is_true
+            and check(*reliable_equates, calculus="lossy").is_false)
+
+
+@experiment("WIFI1", "broadcast reaches topology neighbours only; mutation re-routes")
+def _wifi1() -> bool:
+    from repro import reach
+    from repro.apps.radio import cellular_backend
+    p = "a! | (b?.ok! | c?.far!)"
+    wider = cellular_backend(("a", "b")).connect("a", "c")
+    return (reach(p, "ok", calculus="wireless:a-b").is_true
+            and reach(p, "far", calculus="wireless:a-b").is_false
+            and reach(p, "far", calculus=wider).is_true)
+
+
+def lint_block(calculus: str = "bpi") -> dict:
     """Static-analyzer cost and findings over the apps/examples corpus."""
     from repro.lint import corpus, run_lint
     entries = corpus()
@@ -243,7 +303,7 @@ def lint_block() -> dict:
     dirty = []
     t0 = time.perf_counter()
     for name, term in entries:
-        report = run_lint(term)
+        report = run_lint(term, calculus=calculus)
         for code, secs in report.timings.items():
             pass_seconds[code] = pass_seconds.get(code, 0.0) + secs
         for code, n in report.counts().items():
@@ -252,6 +312,7 @@ def lint_block() -> dict:
             dirty.append(name)
     return {
         "terms": len(entries),
+        "calculus": calculus,
         "clean": len(entries) - len(dirty),
         "dirty": dirty,
         "seconds": time.perf_counter() - t0,
@@ -273,7 +334,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--workers", type=int, default=None, metavar="N",
                     help="worker-pool size for the parallel A/B block "
                          "(default: min(4, cpus), at least 2)")
+    ap.add_argument("--calculus", default="bpi", metavar="SPEC",
+                    help="backend the backend-generic rows (B1, B2) and "
+                         "the lint block run under: 'bpi' (default), "
+                         "'lossy' or 'wireless:a-b,...'")
     args = ap.parse_args(argv)
+    global CALCULUS
+    CALCULUS = args.calculus
 
     selected = None
     if args.rows:
@@ -328,11 +395,11 @@ def main(argv: list[str] | None = None) -> int:
         from benchmarks.bench_parallel import parallel_block
         from benchmarks.bench_store import store_block
         payload = {
-            "schema": 7,
+            "schema": 8,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
-            "lint": lint_block(),
+            "lint": lint_block(calculus=args.calculus),
             "onthefly": ab_block(quick=args.quick),
             "store": store_block(quick=args.quick),
             "parallel": parallel_block(quick=args.quick,

@@ -9,7 +9,7 @@ from repro.axioms.decide import congruent_finite, rebuild_sum
 from repro.axioms.nf import head_summands
 from repro.axioms.proofs import normalize, prove_equal
 from repro.core import free_names, parse, pretty
-from repro.equiv import congruent, noisy_similar, strong_bisimilar
+from repro.equiv import congruent, strict_bisimilar, strong_bisimilar
 
 
 def main() -> None:
@@ -56,7 +56,7 @@ def main() -> None:
     print("   a!.p = a!.(p + h(x).p):",
           congruent(lhs, rhs), "(congruent: the noisy summand is invisible)")
     print("   yet p != p + h(x).p at top level:",
-          not noisy_similar(parse("b<c>"), parse("b<c> + h(x).b<c>")))
+          not strict_bisimilar(parse("b<c>"), parse("b<c> + h(x).b<c>")))
 
     print(f"\n   (Bell numbers at work: {sum(1 for _ in all_partitions(frozenset('abcd')))}"
           " complete conditions on 4 names)")

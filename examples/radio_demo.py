@@ -46,6 +46,31 @@ def main() -> None:
     print(f"   transmissions on air: {retransmissions};"
           f" completed: {trace.observed('sent_ok')}")
 
+    print("\n4) Cellular coverage and handover (the 'wireless' backend)")
+    from repro.apps.radio import (
+        base_station,
+        can_hear,
+        cellular_backend,
+        handover,
+        mobile_station,
+    )
+    from repro.core.builder import par as compose
+    city = compose(base_station("cell_east", "frame2"),
+                   base_station("cell_west", "frame3"),
+                   mobile_station("mob", "screen"))
+    east = cellular_backend(("mob", "cell_east"))
+    print("   attached to east, hears east broadcast:",
+          can_hear(city, "screen", calculus=east))
+    print("   west cell is out of range:",
+          can_hear(compose(base_station("cell_west", "frame3"),
+                           mobile_station("mob", "screen")),
+                   "screen", calculus=east))
+    west = handover(east, "mob", "cell_east", "cell_west")
+    print("   after handover to west, hears west broadcast:",
+          can_hear(compose(base_station("cell_west", "frame3"),
+                           mobile_station("mob", "screen")),
+                   "screen", calculus=west))
+
 
 if __name__ == "__main__":
     main()

@@ -69,8 +69,8 @@ from .core.freenames import free_names
 from .core.names import NameUniverse
 from .core.parser import ParseError, parse
 from .core.pretty import pretty
+from .calculi import registry as _registry
 from .core.reduction import can_reach_barb
-from .core.semantics import step_transitions, transitions
 from .engine.budget import Budget, BudgetExceeded
 from .runtime.simulator import run as sim_run
 
@@ -90,7 +90,8 @@ def _budget_from(args: argparse.Namespace,
 
 def _cmd_steps(args: argparse.Namespace) -> int:
     p = parse(args.process)
-    moves = step_transitions(p)
+    backend = _registry.resolve(args.calculus)
+    moves = backend.step_transitions(p)
     if not moves:
         print("(quiescent)")
     for action, target in moves:
@@ -100,15 +101,17 @@ def _cmd_steps(args: argparse.Namespace) -> int:
 
 def _cmd_moves(args: argparse.Namespace) -> int:
     p = parse(args.process)
+    backend = _registry.resolve(args.calculus)
     universe = NameUniverse(free_names(p), args.fresh)
-    for action, target in transitions(p, universe):
+    for action, target in backend.transitions(p, universe):
         print(f"--{action}-->  {pretty(target)}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     p = parse(args.process)
-    trace = sim_run(p, seed=args.seed, max_steps=args.max_steps)
+    trace = sim_run(p, seed=args.seed, max_steps=args.max_steps,
+                    calculus=args.calculus)
     print(trace)
     print("final:", pretty(trace.final))
     return 0
@@ -122,7 +125,7 @@ def _cmd_eq(args: argparse.Namespace) -> int:
     budget = _budget_from(args)
     verdict = check(parse(args.p), parse(args.q), relation=args.relation,
                     weak=args.weak, budget=budget, strategy=args.strategy,
-                    store=args.store)
+                    store=args.store, calculus=args.calculus)
     kind = ("weak " if args.weak else "strong ") + args.relation
     cached = " [store]" if verdict.stats.get("store") == "hit" else ""
     if verdict.is_unknown:
@@ -139,7 +142,8 @@ def _cmd_barb(args: argparse.Namespace) -> int:
     p = parse(args.process)
     budget = _budget_from(args, default_states=50_000)
     verdict = can_reach_barb(p, args.channel, budget=budget,
-                             collapse_duplicates=True)
+                             collapse_duplicates=True,
+                             calculus=args.calculus)
     scope = ("" if budget.max_states is None
              else f" (within {budget.max_states} states)")
     if verdict.is_unknown:
@@ -166,7 +170,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         from .lint.corpus import corpus
         reports = [(name, run_lint(term, select=args.select,
-                                   ignore=args.ignore))
+                                   ignore=args.ignore,
+                                   calculus=args.calculus))
                    for name, term in corpus()]
         dirty = sum(not r.ok for _, r in reports)
         if args.format == "json":
@@ -184,7 +189,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("lint: need a process term (or --corpus)", file=sys.stderr)
         return 2
     from .api import lint as api_lint
-    report = api_lint(args.process, select=args.select, ignore=args.ignore)
+    report = api_lint(args.process, select=args.select, ignore=args.ignore,
+                      calculus=args.calculus)
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -267,7 +273,8 @@ def _cmd_graph(args: argparse.Namespace) -> int:
         lts, root = build_step_lts(parse(args.process),
                                    budget=_budget_from(args,
                                                        default_states=2_000),
-                                   workers=args.workers)
+                                   workers=args.workers,
+                                   calculus=args.calculus)
     except BudgetExceeded as exc:
         lts, root = exc.partial
         truncated = exc.reason
@@ -302,6 +309,14 @@ def _add_obs_args(parser: argparse.ArgumentParser, *,
         "--progress", action="store_true",
         default=argparse.SUPPRESS if suppress else False,
         help="rate-limited progress heartbeats on stderr")
+
+
+def _add_calculus_arg(parser: argparse.ArgumentParser) -> None:
+    """The semantic-backend selector (steps/moves/run/eq/barb/graph/lint)."""
+    parser.add_argument(
+        "--calculus", metavar="SPEC", default=None,
+        help="broadcast semantics: 'bpi' (default), 'lossy', or "
+             "'wireless:a-b,b-c' (connectivity graph over cell names)")
 
 
 def _add_budget_args(parser: argparse.ArgumentParser, *,
@@ -346,18 +361,21 @@ def main(argv: list[str] | None = None) -> int:
     s = sub.add_parser("steps", help="autonomous transitions",
                        parents=[obs_parent])
     s.add_argument("process")
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_steps)
 
     s = sub.add_parser("moves", help="all transitions incl. inputs",
                        parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--fresh", type=int, default=1)
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_moves)
 
     s = sub.add_parser("run", help="seeded execution", parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--max-steps", type=int, default=200)
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_run)
 
     s = sub.add_parser("eq", help="decide an equivalence (exit 0/1/2)",
@@ -375,12 +393,14 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--store", metavar="PATH", default=None,
                    help="persistent verdict cache (sqlite); serves cached "
                         "verdicts under the budget-aware reuse rule")
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_eq)
 
     s = sub.add_parser("barb", help="barb reachability (exit 0/1/2)",
                        parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("channel")
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_barb)
 
     s = sub.add_parser("canon", help="canonical state form",
@@ -396,6 +416,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="shard frontier expansion across N worker "
                         "processes (0/1 = serial; the graph is identical "
                         "either way)")
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_graph)
 
     s = sub.add_parser(
@@ -439,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--ignore", metavar="CODES",
                    help="skip these code prefixes")
     s.add_argument("--format", default="text", choices=["text", "json"])
+    _add_calculus_arg(s)
     s.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
@@ -457,6 +479,11 @@ def main(argv: list[str] | None = None) -> int:
             if excerpt:
                 print("\n".join("  " + ln for ln in excerpt.splitlines()),
                       file=sys.stderr)
+            return EXIT_UNKNOWN
+        except ValueError as exc:
+            if "backend" not in str(exc) and "calculus" not in str(exc):
+                raise
+            print(f"error: {exc}", file=sys.stderr)
             return EXIT_UNKNOWN
 
     trace_path = getattr(args, "trace", None)

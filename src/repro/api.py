@@ -58,14 +58,14 @@ def _relations() -> dict[str, Callable[..., Verdict]]:
     from .equiv.barbed import barbed_bisimilar
     from .equiv.congruence import congruent
     from .equiv.labelled import labelled_bisimilar
-    from .equiv.noisy import noisy_similar
+    from .equiv.noisy import strict_bisimilar
     from .equiv.simulation import similar
     from .equiv.step import step_bisimilar
     return {
         "barbed": barbed_bisimilar,
         "step": step_bisimilar,
         "labelled": labelled_bisimilar,
-        "noisy": noisy_similar,
+        "noisy": strict_bisimilar,
         "congruence": congruent,
         "similar": similar,
     }
@@ -83,7 +83,8 @@ def check(p: "Process | str", q: "Process | str", *,
           relation: str = "labelled", weak: bool = False,
           budget: "Budget | Meter | None" = None,
           strategy: "str | None" = None,
-          store: "Any | None" = None) -> Verdict:
+          store: "Any | None" = None,
+          calculus: "str | None" = None) -> Verdict:
     """Are *p* and *q* behaviourally equivalent?
 
     *relation* picks the checker — ``"barbed"``, ``"step"``,
@@ -97,6 +98,11 @@ def check(p: "Process | str", q: "Process | str", *,
     ``"onthefly"`` (the default) decides lazily over the product graph
     with up-to closures, ``"global"`` materialises the bounded state
     space first (the test oracle).
+
+    *calculus* selects the broadcast semantics from
+    :mod:`repro.calculi.registry` — ``"bpi"`` (the paper's reliable
+    broadcast, the default), ``"lossy"`` (per-listener message loss) or
+    ``"wireless:a-b,b-c"`` (connectivity-graph reachability).
 
     *store* (a path or an open
     :class:`~repro.store.db.VerdictStore`) makes the call a thin client
@@ -114,16 +120,20 @@ def check(p: "Process | str", q: "Process | str", *,
         if isinstance(store, VerdictStore):
             return store.check(_as_process(p), _as_process(q),
                                relation=relation, weak=weak,
-                               strategy=strategy, budget=budget)
+                               strategy=strategy, budget=budget,
+                               calculus=calculus)
         with VerdictStore(store) as opened:
             return opened.check(_as_process(p), _as_process(q),
                                 relation=relation, weak=weak,
-                                strategy=strategy, budget=budget)
+                                strategy=strategy, budget=budget,
+                                calculus=calculus)
     kwargs: dict[str, Any] = {"budget": budget}
     if relation != "similar":
         kwargs["weak"] = weak
     elif weak:
         kwargs["weak"] = True
+    if calculus is not None:
+        kwargs["calculus"] = calculus
     if strategy is not None:
         if relation not in STRATEGY_RELATIONS:
             raise ValueError(
@@ -164,7 +174,8 @@ class Exploration:
 def explore(p: "Process | str", *,
             budget: "Budget | Meter | None" = None,
             close_binders: bool = True,
-            workers: int = 0) -> Exploration:
+            workers: int = 0,
+            calculus: "str | None" = None) -> Exploration:
     """Build the autonomous-step LTS of *p*, degrading gracefully.
 
     Unlike the raw :func:`~repro.lts.graph.build_step_lts` this never
@@ -174,14 +185,15 @@ def explore(p: "Process | str", *,
     ``workers >= 2`` shards frontier expansion across a process pool
     (:mod:`repro.lts.parallel`); the graph — complete or truncated — is
     identical to the serial one, and a dead pool degrades to serial
-    expansion, never to a wrong graph.
+    expansion, never to a wrong graph.  *calculus* picks the semantic
+    backend (``"bpi"``/``"lossy"``/``"wireless:..."``).
     """
     from .lts.graph import DEFAULT_BUDGET, build_step_lts
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     try:
         lts, root = build_step_lts(_as_process(p), budget=meter,
                                    close_binders=close_binders,
-                                   workers=workers)
+                                   workers=workers, calculus=calculus)
     except BudgetExceeded as exc:
         lts, root = exc.partial
         return Exploration(lts=lts, root=root, complete=False,
@@ -206,16 +218,19 @@ def decide_axioms(p: "Process | str", q: "Process | str", *,
 
 def reach(p: "Process | str", channel: str, *,
           budget: "Budget | Meter | None" = None,
-          collapse_duplicates: bool = True) -> Verdict:
+          collapse_duplicates: bool = True,
+          calculus: "str | None" = None) -> Verdict:
     """Can *p* reach a state offering a broadcast on *channel*?"""
     from .core.reduction import can_reach_barb
     return can_reach_barb(_as_process(p), channel, budget=budget,
-                          collapse_duplicates=collapse_duplicates)
+                          collapse_duplicates=collapse_duplicates,
+                          calculus=calculus)
 
 
 def lint(p: "Process | str", *,
          select: "str | list[str] | None" = None,
-         ignore: "str | list[str] | None" = None) -> "LintReport":
+         ignore: "str | list[str] | None" = None,
+         calculus: "str | None" = None) -> "LintReport":
     """Statically analyse *p*; returns a :class:`~repro.lint.LintReport`.
 
     Runs the registered passes (``BP101`` unguarded recursion, ``BP102``
@@ -226,6 +241,11 @@ def lint(p: "Process | str", *,
     source excerpts; a pre-built :class:`Process` yields occurrence-path
     positions only.  *select*/*ignore* are code prefixes (``"BP2"``
     covers BP201 and BP202), comma-separated when given as one string.
+
+    With a non-default *calculus*, the backend's extra well-formedness
+    rules run as pass ``BP103`` (e.g. the wireless backend rejects terms
+    that bind a topology cell); only backend-*specific* rejections fire,
+    plain sort trouble stays with ``BP102``.
     """
     from .lint.engine import run_lint
     if isinstance(p, str):
@@ -233,4 +253,5 @@ def lint(p: "Process | str", *,
         term, spans = parse_with_spans(p)
     else:
         term, spans = p, None
-    return run_lint(term, spans=spans, select=select, ignore=ignore)
+    return run_lint(term, spans=spans, select=select, ignore=ignore,
+                    calculus=calculus)

@@ -24,6 +24,18 @@ Checkable properties (tests):
 * no corruption: only sent payloads are ever delivered — safety invariant;
 * the unreliable variant (no retransmission) genuinely can lose: there is
   a quiescent state with no delivery.
+
+Cellular coverage (the ``"wireless"`` backend)
+----------------------------------------------
+The lossy medium above encodes loss *inside the term*.  The second half
+of this module models the orthogonal radio phenomenon — **range** — with
+the graph-topology backend: each station broadcasts on its own radio
+channel (its *cell*), and a :class:`~repro.calculi.wireless.Topology`
+edge between two cells means the stations are in radio range.  A
+broadcast then reaches exactly the sender's topology neighbourhood;
+:func:`handover` re-attaches a mobile's cell to a new base station by
+mutating the topology (a new backend per configuration), so mobility is
+a sequence of reachability analyses under evolving graphs.
 """
 
 from __future__ import annotations
@@ -133,3 +145,52 @@ def can_deliver(system: Process, deliver: Name, payload: Name, *,
     probe = _delivery_probe(deliver, payload, signal)
     return can_reach_barb(par(system, probe), signal,
                           budget=budget, collapse_duplicates=True)
+
+
+# --------------------------------------------------------------------------
+# Cellular coverage: channels as cells, range as topology ("wireless")
+# --------------------------------------------------------------------------
+
+def base_station(cell: Name, payload: Name) -> Process:
+    """A base station broadcasting *payload* in its own *cell*."""
+    return out(cell, payload)
+
+
+def mobile_station(radio: Name, deliver: Name) -> Process:
+    """A mobile tuned to its *radio* cell, delivering every frame heard."""
+    recv = define(
+        "Mobile", ("r", "o"),
+        lambda r, o: inp(r, ("m",), out(o, "m", cont=call("Mobile", r, o))))
+    return recv(radio, deliver)
+
+
+def cellular_backend(*links: "tuple[Name, Name]"):
+    """The wireless backend for a set of in-range (cell, cell) pairs."""
+    from ..calculi.wireless import Topology, WirelessBackend
+    return WirelessBackend(Topology.of(*links))
+
+
+def handover(backend, radio: Name, old_cell: Name, new_cell: Name):
+    """Re-attach the mobile on *radio* from *old_cell* to *new_cell*.
+
+    Topology mutation is meta-level: the result is a *new* backend (the
+    old configuration stays analysable), mirroring how the wireless
+    calculi treat node movement as a change of the connectivity graph.
+    """
+    return backend.disconnect(radio, old_cell).connect(radio, new_cell)
+
+
+def can_hear(system: Process, deliver: Name, *, calculus,
+             budget=None, max_states: int | None = None):
+    """May the mobile delivering on *deliver* ever receive a frame?
+
+    *calculus* is the wireless backend (or registry spec) describing the
+    current radio ranges; with no relevant edge the broadcast never
+    reaches the mobile's cell and the verdict is definitely false.
+    """
+    from ..engine.budget import Budget, legacy_cap
+    budget = legacy_cap("can_hear", budget, max_states=max_states)
+    if budget is None:
+        budget = Budget(max_states=10_000)
+    return can_reach_barb(system, deliver, budget=budget,
+                          collapse_duplicates=True, calculus=calculus)

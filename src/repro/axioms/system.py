@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from ..core.builder import nu
-from ..core.discard import listening_channels
 from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.substitution import alpha_eq, apply_subst

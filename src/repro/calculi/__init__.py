@@ -1,5 +1,7 @@
-"""Baseline calculi (CBS, pi) and inter-calculus encodings."""
+"""Baseline calculi (CBS, pi), inter-calculus encodings, and the
+pluggable calculus-backend registry (:mod:`repro.calculi.registry`)."""
 
+from .backend import BpiBackend, CalculusBackend, StructuralBackend
 from .cbs import (
     ETHER,
     CbsNil,
@@ -32,6 +34,7 @@ from .data import (
     write_cell,
 )
 from .encodings import pi_to_bpi
+from .lossy import LossyBackend
 from .pi import (
     pi_barbed_bisimilar,
     pi_barbs,
@@ -39,8 +42,11 @@ from .pi import (
     pi_step_transitions,
     pi_tau_successors,
 )
+from .wireless import Topology, WirelessBackend
 
 __all__ = [
+    "BpiBackend", "CalculusBackend", "LossyBackend", "StructuralBackend",
+    "Topology", "WirelessBackend",
     "ETHER", "CbsNil", "CbsPar", "CbsProcess", "CbsRec", "CbsSum", "CbsVar",
     "Hear", "Speak", "alphabet", "cbs_transitions", "hears", "speaks",
     "to_bpi", "CBS_NIL", "cbs_discards",

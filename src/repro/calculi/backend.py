@@ -1,0 +1,315 @@
+"""The calculus-backend protocol: pluggable broadcast semantics.
+
+The paper fixes one semantics — the Table 3 transition rules, the Table 2
+discard relation, and output barbs.  ROADMAP item 3 asks for the direct
+extensions named in PAPERS.md (Cao's noisy channels, graph-based wireless
+broadcast), which share the syntax and the shape of the judgements but not
+the judgements themselves.  :class:`CalculusBackend` names that shape:
+
+* :meth:`step_transitions` — autonomous moves ``p -phi-> p'`` (outputs and
+  ``tau``), finitely branching;
+* :meth:`input_continuations` — residuals of delivering one concrete
+  broadcast ``chan(values)`` to *p*;
+* :meth:`discards` — the backend's discard relation ``p -a/->``;
+* :meth:`barbs` — the observables of *p*;
+* :meth:`check_sorts` — the backend's well-sortedness rules.
+
+Every backend must preserve the **input/discard dichotomy**: for all *p*
+and *a*, exactly one of "``input_continuations(p, a, v)`` is non-empty for
+well-sorted *v*" and "``discards(p, a)``" holds.  The property suite
+checks this per registered backend.
+
+Engine layers (``lts/``, ``equiv/``, ``runtime/``, the facade and CLI)
+resolve a backend through :mod:`repro.calculi.registry` and call these
+methods; they never import ``core.semantics`` / ``core.discard`` directly
+(contract Rule E).  The default :class:`BpiBackend` delegates to exactly
+those memoized core functions, so the default path is bit-identical to
+calling them directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from ..core.actions import TAU, InputAction, OutputAction, TauAction
+from ..core.binders import freshen_action_binders
+from ..core.discard import discards as _bpi_discards
+from ..core.discard import listening_channels as _bpi_listening
+from ..core.freenames import free_names
+from ..core.names import Name
+from ..core.reduction import barbs as _bpi_barbs
+from ..core.semantics import Transition, check_sorts as _bpi_check_sorts
+from ..core.semantics import input_capabilities as _bpi_caps
+from ..core.semantics import input_continuations as _bpi_inputs
+from ..core.semantics import step_transitions as _bpi_steps
+from ..core.substitution import unfold_rec
+from ..core.syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+
+
+class CalculusBackend(abc.ABC):
+    """One broadcast semantics: steps, delivery, discard, barbs, sorts.
+
+    Instances are immutable apart from memo tables; the registry caches
+    one instance per canonical spec so per-instance memo tables persist
+    for the lifetime of a session.
+    """
+
+    #: Registry name of the backend family ("bpi", "lossy", "wireless").
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self._scratch: dict[str, dict] = {}
+
+    def memo(self, table: str) -> dict:
+        """A named per-backend memo table (cleared by :meth:`clear_caches`).
+
+        Engine layers that memoize per-state results (e.g. the reduction
+        graph's ``phi_successors``) key them here for non-default
+        backends, instead of on slots of the interned nodes — slot caches
+        are reserved for the ``bpi`` functions they were written for.
+        """
+        return self._scratch.setdefault(table, {})
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable registry spec (``resolve(b.spec)`` ≡ *b*).
+
+        Parameterised backends override this to include their parameters;
+        the spec string is what travels to worker processes.
+        """
+        return self.name
+
+    def key(self) -> str:
+        """Stable identity for store keys and ledgers.
+
+        Distinct semantics must have distinct keys — the verdict store
+        mixes this into ``pair_key`` so verdicts computed under different
+        backends can never answer each other.  Parameterised backends
+        append a digest of their parameters.
+        """
+        return self.name
+
+    # ---------------------------------------------------------------- core
+    @abc.abstractmethod
+    def step_transitions(self, p: Process) -> tuple[Transition, ...]:
+        """All autonomous moves ``p -phi-> p'`` (outputs and tau)."""
+
+    @abc.abstractmethod
+    def input_continuations(self, p: Process, chan: Name,
+                            values: tuple[Name, ...]) -> tuple[Process, ...]:
+        """All residuals of delivering ``chan(values)`` to *p*."""
+
+    @abc.abstractmethod
+    def discards(self, p: Process, a: Name) -> bool:
+        """True iff *p* ignores every broadcast made on *a*."""
+
+    # ------------------------------------------------------------- derived
+    @abc.abstractmethod
+    def input_capabilities(self, p: Process) -> frozenset[tuple[Name, int]]:
+        """The (channel, arity) pairs at which *p* can currently receive."""
+
+    def listening_channels(self, p: Process) -> frozenset[Name]:
+        """``In(p)``: channels whose broadcasts *p* does not discard."""
+        return frozenset(c for (c, _k) in self.input_capabilities(p))
+
+    def barbs(self, p: Process) -> frozenset[Name]:
+        """The observables of *p* (output subjects, in every backend)."""
+        return frozenset(
+            action.chan for action, _t in self.step_transitions(p)
+            if isinstance(action, OutputAction))
+
+    def check_sorts(self, p: Process) -> dict[Name, int]:
+        """Backend sort rules; raises ``ValueError`` on a violation."""
+        return _bpi_check_sorts(p)
+
+    def transitions(self, p: Process, universe) -> list[Transition]:
+        """Steps plus inputs instantiated over a finite name universe."""
+        result: list[Transition] = list(self.step_transitions(p))
+        for chan, arity in sorted(self.input_capabilities(p)):
+            for values in universe.vectors(arity):
+                for target in self.input_continuations(p, chan, values):
+                    result.append((InputAction(chan, values), target))
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop per-instance memo tables (hook for ``core.cache``)."""
+        self._scratch.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+class BpiBackend(CalculusBackend):
+    """The paper's semantics, verbatim.
+
+    Every method forwards to the memoized free functions in
+    ``core.semantics`` / ``core.discard`` / ``core.reduction`` — same
+    caches, same tuples, same ordering — so routing through the registry
+    is observationally identical to the pre-protocol code.
+    """
+
+    name = "bpi"
+
+    def step_transitions(self, p: Process) -> tuple[Transition, ...]:
+        return _bpi_steps(p)
+
+    def input_continuations(self, p: Process, chan: Name,
+                            values: tuple[Name, ...]) -> tuple[Process, ...]:
+        return _bpi_inputs(p, chan, values)
+
+    def discards(self, p: Process, a: Name) -> bool:
+        return _bpi_discards(p, a)
+
+    def input_capabilities(self, p: Process) -> frozenset[tuple[Name, int]]:
+        return _bpi_caps(p)
+
+    def listening_channels(self, p: Process) -> frozenset[Name]:
+        return _bpi_listening(p)
+
+    def barbs(self, p: Process) -> frozenset[Name]:
+        return _bpi_barbs(p)
+
+
+class StructuralBackend(CalculusBackend):
+    """Table-3-shaped semantics parameterised on delivery and discard.
+
+    Subclasses supply :meth:`discards` and the delivery judgement
+    ``input_continuations``; the step relation keeps the paper's rule
+    structure (tau/output prefixes, sums, matches, recursion, the
+    restriction rules (5)-(7) and the parallel rules (13)/(14)) but
+    routes the passive side of a broadcast through the subclass's
+    delivery and discard — which is exactly where lossy and wireless
+    semantics deviate from the paper.
+
+    Steps and deliveries are memoized per backend instance, keyed on the
+    interned nodes, mirroring the slot caches of the default semantics.
+    """
+
+    def _freshen_avoid(self) -> frozenset[Name]:
+        """Extra names that freshly generated binders must avoid."""
+        return frozenset()
+
+    # ----------------------------------------------------------- steps
+    def step_transitions(self, p: Process) -> tuple[Transition, ...]:
+        memo = self.memo("steps")
+        try:
+            return memo[p]
+        except KeyError:
+            pass
+        result = self._compute_steps(p)
+        memo[p] = result
+        return result
+
+    def _compute_steps(self, p: Process) -> tuple[Transition, ...]:
+        if isinstance(p, (Nil, Input)):
+            return ()
+        if isinstance(p, Tau):
+            return ((TAU, p.cont),)  # rule (2)
+        if isinstance(p, Output):
+            return ((OutputAction(p.chan, p.args, ()), p.cont),)  # rule (4)
+        if isinstance(p, Sum):  # rule (8)
+            return self.step_transitions(p.left) + self.step_transitions(p.right)
+        if isinstance(p, Match):  # rules (9), (10)
+            branch = p.then if p.left == p.right else p.orelse
+            return self.step_transitions(branch)
+        if isinstance(p, Rec):  # rule (11)
+            return self.step_transitions(unfold_rec(p))
+        if isinstance(p, Restrict):
+            return tuple(self._restrict_steps(p))
+        if isinstance(p, Par):
+            return tuple(self._par_steps(p))
+        if isinstance(p, Ident):
+            raise ValueError(
+                f"cannot take transitions of open process (free identifier {p.ident!r})")
+        raise TypeError(f"unknown process node {type(p).__name__}")
+
+    def _restrict_steps(self, p: Restrict) -> list[Transition]:
+        x, body = p.name, p.body
+        out: list[Transition] = []
+        for action, target in self.step_transitions(body):
+            if isinstance(action, TauAction):  # rule (7)
+                out.append((TAU, Restrict(x, target)))
+                continue
+            assert isinstance(action, OutputAction)
+            if action.chan == x:
+                # Rule (6): a broadcast on the restricted channel is
+                # internal; the scope of extruded names is re-established.
+                q = target
+                for b in reversed(action.binders):
+                    q = Restrict(b, q)
+                out.append((TAU, Restrict(x, q)))
+                continue
+            if x in action.binders:
+                action, target = freshen_action_binders(
+                    action, target, frozenset((x,)) | self._freshen_avoid())
+            if x in action.objects:
+                # Rule (5): scope extrusion.
+                out.append((OutputAction(action.chan, action.objects,
+                                         action.binders + (x,)), target))
+            else:
+                # Rule (7): x not involved, keep the restriction.
+                out.append((action, Restrict(x, target)))
+        return out
+
+    def _par_steps(self, p: Par) -> list[Transition]:
+        out: list[Transition] = []
+        for active, passive, rebuild in (
+            (p.left, p.right, lambda a, b: Par(a, b)),
+            (p.right, p.left, lambda a, b: Par(b, a)),
+        ):
+            for action, target in self.step_transitions(active):
+                if isinstance(action, TauAction):
+                    out.append((TAU, rebuild(target, passive)))
+                    continue
+                assert isinstance(action, OutputAction)
+                action, target = freshen_action_binders(
+                    action, target,
+                    frozenset(free_names(passive)) | self._freshen_avoid())
+                if self.discards(passive, action.chan):
+                    # Rule (14): the passive side cannot hear; unchanged.
+                    out.append((action, rebuild(target, passive)))
+                else:
+                    # Rule (13), backend delivery: every residual the
+                    # delivery judgement admits (lossy delivery includes
+                    # the "message lost at this listener" residual).
+                    for received in self.input_continuations(
+                            passive, action.chan, action.objects):
+                        out.append((action, rebuild(target, received)))
+        return out
+
+    # -------------------------------------------------------- delivery
+    def input_continuations(self, p: Process, chan: Name,
+                            values: tuple[Name, ...]) -> tuple[Process, ...]:
+        memo = self.memo("inputs")
+        key = (p, chan, values)
+        try:
+            return memo[key]
+        except KeyError:
+            pass
+        result = self._compute_inputs(p, chan, values)
+        memo[key] = result
+        return result
+
+    @abc.abstractmethod
+    def _compute_inputs(self, p: Process, chan: Name,
+                        values: tuple[Name, ...]) -> tuple[Process, ...]:
+        """Uncached delivery judgement; see :meth:`input_continuations`."""
+
+
+def dichotomy_channels(p: Process,
+                       extra: Iterable[Name] = ()) -> frozenset[Name]:
+    """Channels worth probing when property-testing the dichotomy."""
+    return frozenset(free_names(p)) | frozenset(extra)

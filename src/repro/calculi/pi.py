@@ -27,7 +27,7 @@ from functools import lru_cache
 from ..core.actions import TAU, Action, OutputAction, TauAction
 from ..core.freenames import free_names
 from ..core.names import Name, fresh_name
-from ..core.semantics import freshen_action_binders
+from ..core.binders import freshen_action_binders
 from ..core.substitution import apply_subst, unfold_rec
 from ..core.syntax import (
     Ident,

@@ -1,0 +1,240 @@
+"""Graph-topology broadcast: channels as cells (cf. arXiv:1701.02526).
+
+The wireless calculi in PAPERS.md attach a connectivity graph to the
+network: a broadcast reaches only the nodes adjacent to the sender.  We
+transplant the idea onto the bpi-calculus by reading channels as *cells*:
+a listener tuned to cell ``b`` hears a broadcast made on cell ``a`` iff
+``a == b`` (same cell, plain bpi) or ``a - b`` is an edge of the
+:class:`Topology`.  With an empty topology the backend degenerates to the
+paper's semantics; adding edges widens reach, so a process physically
+between two cells can be modelled by a listener on either.
+
+Delivery is still atomic *within reach*: every listener that can hear
+must receive (rule (13)); a listener whose cell is not reachable discards
+the broadcast (rule (14)) — that is the wireless discard relation, and
+the input/discard dichotomy holds for it verbatim.
+
+Topology mutation (handover, node movement) is modelled at the meta
+level: :meth:`Topology.connect` / :meth:`Topology.disconnect` — and the
+corresponding :meth:`WirelessBackend.connect` / ``disconnect`` — return a
+*new* backend, so a mobility scenario is a sequence of analyses under
+evolving graphs (see ``apps/radio.py``).
+
+Alpha-hygiene: the topology names global cells, so a term must not bind
+(restrict or abstract) a name that is also a topology cell — the bound
+name would be a *different, private* channel that merely shares the
+spelling.  :meth:`WirelessBackend.check_sorts` rejects such terms, and
+freshly generated binder names always avoid the cell names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..core.discard import listening_channels as _bpi_listening
+from ..core.freenames import free_names
+from ..core.names import Name, fresh_name
+from ..core.semantics import check_sorts as _bpi_check_sorts
+from ..core.semantics import input_capabilities as _bpi_caps
+from ..core.substitution import apply_subst, unfold_rec
+from ..core.syntax import (
+    Ident,
+    Input,
+    Match,
+    Nil,
+    Output,
+    Par,
+    Process,
+    Rec,
+    Restrict,
+    Sum,
+    Tau,
+)
+from .backend import StructuralBackend
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected connectivity graph over cell (channel) names."""
+
+    edges: frozenset[tuple[Name, Name]]  # each pair stored sorted
+
+    @classmethod
+    def of(cls, *pairs: tuple[Name, Name]) -> "Topology":
+        edges = set()
+        for a, b in pairs:
+            if a == b:
+                raise ValueError(f"self-loop {a!r}-{b!r}: a cell always hears itself")
+            edges.add((min(a, b), max(a, b)))
+        return cls(frozenset(edges))
+
+    @classmethod
+    def parse(cls, text: str) -> "Topology":
+        """Parse ``"a-b,b-c"`` (empty string: the empty topology)."""
+        pairs = []
+        for part in filter(None, (s.strip() for s in text.split(","))):
+            a, sep, b = part.partition("-")
+            if not sep or not a.strip() or not b.strip():
+                raise ValueError(
+                    f"malformed topology edge {part!r} (expected 'cell-cell')")
+            pairs.append((a.strip(), b.strip()))
+        return cls.of(*pairs)
+
+    @property
+    def cells(self) -> frozenset[Name]:
+        return frozenset(n for e in self.edges for n in e)
+
+    def adjacent(self, a: Name, b: Name) -> bool:
+        return (min(a, b), max(a, b)) in self.edges
+
+    def hears(self, out_chan: Name, listen_chan: Name) -> bool:
+        """Does a listener on *listen_chan* hear a broadcast on *out_chan*?"""
+        return out_chan == listen_chan or self.adjacent(out_chan, listen_chan)
+
+    def neighbours(self, a: Name) -> frozenset[Name]:
+        return frozenset(y if x == a else x
+                         for x, y in self.edges if a in (x, y))
+
+    def connect(self, a: Name, b: Name) -> "Topology":
+        if a == b:
+            raise ValueError(f"self-loop {a!r}-{b!r}: a cell always hears itself")
+        return Topology(self.edges | {(min(a, b), max(a, b))})
+
+    def disconnect(self, a: Name, b: Name) -> "Topology":
+        return Topology(self.edges - {(min(a, b), max(a, b))})
+
+    def spec(self) -> str:
+        return ",".join(f"{a}-{b}" for a, b in sorted(self.edges))
+
+    def digest(self) -> str:
+        """Short stable digest for store keys and ledgers."""
+        return hashlib.sha256(self.spec().encode("utf-8")).hexdigest()[:12]
+
+
+class WirelessBackend(StructuralBackend):
+    """The paper's calculus with topology-restricted broadcast reach."""
+
+    name = "wireless"
+
+    def __init__(self, topology: Topology | None = None) -> None:
+        super().__init__()
+        self.topology = topology if topology is not None else Topology(frozenset())
+
+    @property
+    def spec(self) -> str:
+        edges = self.topology.spec()
+        return f"wireless:{edges}" if edges else "wireless"
+
+    def key(self) -> str:
+        if not self.topology.edges:
+            return "wireless"
+        return f"wireless:{self.topology.digest()}"
+
+    def connect(self, a: Name, b: Name) -> "WirelessBackend":
+        return WirelessBackend(self.topology.connect(a, b))
+
+    def disconnect(self, a: Name, b: Name) -> "WirelessBackend":
+        return WirelessBackend(self.topology.disconnect(a, b))
+
+    def _freshen_avoid(self) -> frozenset[Name]:
+        return self.topology.cells
+
+    # ---------------------------------------------------------- discard
+    def discards(self, p: Process, a: Name) -> bool:
+        # p discards a broadcast on cell `a` iff none of its (externally
+        # addressable) listening cells can hear it.
+        hears = self.topology.hears
+        return not any(hears(a, b) for b in _bpi_listening(p))
+
+    def input_capabilities(self, p: Process) -> frozenset[tuple[Name, int]]:
+        # A listener tuned to cell b at arity k can be reached by a
+        # broadcast on b itself or on any adjacent cell.
+        caps = set()
+        for b, k in _bpi_caps(p):
+            caps.add((b, k))
+            for a in self.topology.neighbours(b):
+                caps.add((a, k))
+        return frozenset(caps)
+
+    # ------------------------------------------------------------ sorts
+    def check_sorts(self, p: Process) -> dict[Name, int]:
+        cells = self.topology.cells
+        if cells:
+            self._reject_bound_cells(p, cells)
+        sorts = _bpi_check_sorts(p)
+        # Adjacent cells exchange the same broadcasts, so they must agree
+        # on arity wherever both are used.
+        for a, b in sorted(self.topology.edges):
+            if a in sorts and b in sorts and sorts[a] != sorts[b]:
+                raise ValueError(
+                    f"cells {a!r} and {b!r} are adjacent but used at "
+                    f"arities {sorts[a]} and {sorts[b]}")
+        return sorts
+
+    @staticmethod
+    def _reject_bound_cells(p: Process, cells: frozenset[Name]) -> None:
+        def walk(q: Process) -> None:
+            if isinstance(q, Restrict) and q.name in cells:
+                raise ValueError(
+                    f"topology cell {q.name!r} is restricted in the term; "
+                    f"a private channel cannot share a cell name — rename the binder")
+            if isinstance(q, Input):
+                clash = cells.intersection(q.params)
+                if clash:
+                    raise ValueError(
+                        f"topology cell(s) {sorted(clash)!r} bound as input "
+                        f"parameters; rename the parameters")
+            for c in q.children():
+                walk(c)
+
+        walk(p)
+
+    # --------------------------------------------------------- delivery
+    def _compute_inputs(self, p: Process, chan: Name,
+                        values: tuple[Name, ...]) -> tuple[Process, ...]:
+        if isinstance(p, (Nil, Tau, Output)):
+            return ()
+        if isinstance(p, Input):
+            if not self.topology.hears(chan, p.chan) \
+                    or len(p.params) != len(values):
+                return ()
+            return (apply_subst(p.cont, dict(zip(p.params, values))),)
+        if isinstance(p, Sum):
+            return (self.input_continuations(p.left, chan, values)
+                    + self.input_continuations(p.right, chan, values))
+        if isinstance(p, Match):
+            branch = p.then if p.left == p.right else p.orelse
+            return self.input_continuations(branch, chan, values)
+        if isinstance(p, Rec):
+            return self.input_continuations(unfold_rec(p), chan, values)
+        if isinstance(p, Restrict):
+            x, body = p.name, p.body
+            # The bound name is a private channel: it must neither capture
+            # received values nor spuriously hear the outer broadcast via
+            # a topology edge that names its spelling.
+            if x in values or self.topology.hears(chan, x):
+                nx = fresh_name(free_names(body) | set(values)
+                                | self.topology.cells | {chan, x}, hint=x)
+                body = apply_subst(body, {x: nx})
+                x = nx
+            return tuple(Restrict(x, q)
+                         for q in self.input_continuations(body, chan, values))
+        if isinstance(p, Par):
+            left_deaf = self.discards(p.left, chan)
+            right_deaf = self.discards(p.right, chan)
+            if left_deaf and right_deaf:
+                return ()
+            if left_deaf:
+                return tuple(Par(p.left, r) for r in
+                             self.input_continuations(p.right, chan, values))
+            if right_deaf:
+                return tuple(Par(l, p.right) for l in
+                             self.input_continuations(p.left, chan, values))
+            lefts = self.input_continuations(p.left, chan, values)
+            rights = self.input_continuations(p.right, chan, values)
+            return tuple(Par(l, r) for l in lefts for r in rights)
+        if isinstance(p, Ident):
+            raise ValueError(
+                f"cannot take transitions of open process (free identifier {p.ident!r})")
+        raise TypeError(f"unknown process node {type(p).__name__}")

@@ -52,6 +52,13 @@ def clear_caches() -> None:
     syntax.clear_intern_table()
     for fn in _lru_functions():
         fn.cache_clear()
+    try:
+        from ..calculi import registry
+    except ImportError:  # pragma: no cover - calculi are optional extras
+        return
+    # Backend memo tables key on interned nodes, so they must not outlive
+    # the intern table they were built against.
+    registry.clear_caches()
 
 
 def cache_stats() -> dict[str, Any]:

@@ -179,10 +179,27 @@ def reachable_by_steps(p: Process, *, budget: Budget | Meter | None = None,
     return _bounded_closure(p, step_successors, meter)
 
 
+def _closed_successors_for(backend) -> Callable[[Process], tuple[Process, ...]]:
+    """`step_successors_closed` generalised to any calculus backend."""
+    from .syntax import Restrict
+
+    def successors(p: Process) -> tuple[Process, ...]:
+        out = []
+        for action, target in backend.step_transitions(p):
+            if isinstance(action, OutputAction) and action.binders:
+                for b in reversed(action.binders):
+                    target = Restrict(b, target)
+            out.append(target)
+        return tuple(out)
+
+    return successors
+
+
 def can_reach_barb(p: Process, chan: Name, *,
                    budget: Budget | Meter | None = None,
                    collapse_duplicates: bool = False,
-                   max_states: int | None = None) -> Verdict:
+                   max_states: int | None = None,
+                   calculus=None) -> Verdict:
     """Reachability query: can *p* autonomously reach a state barbing *chan*?
 
     The workhorse behind the paper's examples — e.g. "does the cycle
@@ -207,9 +224,16 @@ def can_reach_barb(p: Process, chan: Name, *,
     canon = canonical_state_collapsed if collapse_duplicates else canonical_state
     budget = legacy_cap("can_reach_barb", budget, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_REACH_BUDGET)
+    if calculus is None:
+        successors = step_successors_closed
+    else:
+        # Lazy import: calculi imports core at module level, so core must
+        # only reach back at call time.
+        from ..calculi import registry as _registry
+        successors = _closed_successors_for(_registry.resolve(calculus))
     explored = 0
     try:
-        for q in _bounded_closure(p, step_successors_closed, meter,
+        for q in _bounded_closure(p, successors, meter,
                                   canonical=canon):
             explored += 1
             if has_barb(q, chan):

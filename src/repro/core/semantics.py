@@ -30,6 +30,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from .actions import TAU, Action, InputAction, OutputAction, TauAction
+from .binders import freshen_action_binders
 from .discard import discards
 from .freenames import free_names
 from .names import Name, fresh_name
@@ -52,32 +53,15 @@ from .syntax import (
 #: A transition: (action, target process).
 Transition = tuple[Action, Process]
 
-
-def freshen_action_binders(action: OutputAction, residual: Process,
-                           avoid: frozenset[Name]) -> tuple[OutputAction, Process]:
-    """Alpha-rename the binders of a bound output away from *avoid*.
-
-    The binders of ``nu y~ a<z~>`` are free in the residual, so renaming a
-    binder renames it in the residual too.  Needed by rule (13)'s side
-    condition ``y~ /\\ fn(p2) = {}`` and by rule (5)/(7) clashes at
-    restrictions.
-    """
-    clashing = [b for b in action.binders if b in avoid]
-    if not clashing:
-        return action, residual
-    taken = (set(avoid) | set(action.objects) | {action.chan}
-             | set(free_names(residual)))
-    mapping: dict[Name, Name] = {}
-    for b in clashing:
-        nb = fresh_name(taken, hint=b)
-        taken.add(nb)
-        mapping[b] = nb
-    new_action = OutputAction(
-        action.chan,
-        tuple(mapping.get(o, o) for o in action.objects),
-        tuple(mapping.get(b, b) for b in action.binders),
-    )
-    return new_action, apply_subst(residual, mapping)
+__all__ = [
+    "Transition",
+    "check_sorts",
+    "freshen_action_binders",
+    "input_capabilities",
+    "input_continuations",
+    "step_transitions",
+    "transitions",
+]
 
 
 def step_transitions(p: Process) -> tuple[Transition, ...]:

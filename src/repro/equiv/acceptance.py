@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..calculi import registry as _registry
 from ..core.actions import OutputAction, TauAction
 from ..core.canonical import canonical_state
 from ..core.names import Name
 from ..core.reduction import barbs
-from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
 from ..engine.budget import (
     Budget,
@@ -44,9 +44,13 @@ DEFAULT_BUDGET = Budget(max_states=20_000)
 Trace = tuple[Name, ...]
 
 
+def _steps(p: Process):
+    return _registry.default().step_transitions(p)
+
+
 def is_stable(p: Process) -> bool:
     """No internal move available."""
-    return not any(isinstance(a, TauAction) for a, _ in step_transitions(p))
+    return not any(isinstance(a, TauAction) for a, _ in _steps(p))
 
 
 def _after(p: Process, trace: Trace, meter: Meter) -> set[Process]:
@@ -63,7 +67,7 @@ def _after(p: Process, trace: Trace, meter: Meter) -> set[Process]:
         seen.add((state, idx))
         if idx == len(trace):
             results.add(state)
-        for action, target in step_transitions(state):
+        for action, target in _steps(state):
             if isinstance(action, OutputAction) and action.binders:
                 for b in reversed(action.binders):
                     target = Restrict(b, target)
@@ -115,7 +119,7 @@ def traces_upto(p: Process, max_depth: int = 4, *,
             if len(trace) >= max_depth:
                 continue
             meter.tick()
-            for action, target in step_transitions(state):
+            for action, target in _steps(state):
                 if isinstance(action, OutputAction) and action.binders:
                     for b in reversed(action.binders):
                         target = Restrict(b, target)

@@ -21,6 +21,8 @@ test suite exercises via the labelled checker.
 
 from __future__ import annotations
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.syntax import Process
 from ..engine.budget import (
     Budget,
@@ -40,18 +42,21 @@ from .step import _onthefly_reduction
 def strong_barbed_bisimilar(p: Process, q: Process, *,
                             budget: Budget | Meter | None = None,
                             max_states: int | None = None,
-                            strategy: str = "onthefly") -> Verdict:
+                            strategy: str = "onthefly",
+                            calculus: str | CalculusBackend | None = None
+                            ) -> Verdict:
     """Decide ``p ~b q`` (strong barbed bisimilarity)."""
     validate_strategy(strategy)
     budget = legacy_cap("strong_barbed_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
     if strategy == "onthefly":
         return _onthefly_reduction(p, q, steps=False, weak=False,
-                                   meter=meter)
+                                   meter=meter, backend=backend)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=False,
-                                                budget=meter)
+                                                budget=meter, backend=backend)
         block = coarsest_partition(graph.frozen_successors(),
                                    graph.state_barbs, budget=meter)
     except BudgetExceeded as exc:
@@ -62,18 +67,21 @@ def strong_barbed_bisimilar(p: Process, q: Process, *,
 def weak_barbed_bisimilar(p: Process, q: Process, *,
                           budget: Budget | Meter | None = None,
                           max_states: int | None = None,
-                          strategy: str = "onthefly") -> Verdict:
+                          strategy: str = "onthefly",
+                          calculus: str | CalculusBackend | None = None
+                          ) -> Verdict:
     """Decide ``p ~~b q`` (weak barbed bisimilarity)."""
     validate_strategy(strategy)
     budget = legacy_cap("weak_barbed_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
     if strategy == "onthefly":
         return _onthefly_reduction(p, q, steps=False, weak=True,
-                                   meter=meter)
+                                   meter=meter, backend=backend)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=False,
-                                                budget=meter)
+                                                budget=meter, backend=backend)
         closure = reachability_closure(graph.frozen_successors())
         keys = weak_keys(closure, graph.state_barbs)
         block = coarsest_partition(closure, keys, budget=meter)
@@ -85,9 +93,12 @@ def weak_barbed_bisimilar(p: Process, q: Process, *,
 def barbed_bisimilar(p: Process, q: Process, *, weak: bool = False,
                      budget: Budget | Meter | None = None,
                      max_states: int | None = None,
-                     strategy: str = "onthefly") -> Verdict:
+                     strategy: str = "onthefly",
+                     calculus: str | CalculusBackend | None = None) -> Verdict:
     """Dispatch on *weak*."""
     budget = legacy_cap("barbed_bisimilar", budget, max_states=max_states)
     if weak:
-        return weak_barbed_bisimilar(p, q, budget=budget, strategy=strategy)
-    return strong_barbed_bisimilar(p, q, budget=budget, strategy=strategy)
+        return weak_barbed_bisimilar(p, q, budget=budget, strategy=strategy,
+                                     calculus=calculus)
+    return strong_barbed_bisimilar(p, q, budget=budget, strategy=strategy,
+                                   calculus=calculus)

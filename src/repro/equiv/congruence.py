@@ -15,6 +15,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterator
 
+from ..calculi.backend import CalculusBackend
 from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.substitution import apply_subst
@@ -22,7 +23,7 @@ from ..core.syntax import Process
 from ..engine.budget import Budget, Meter, legacy_cap, resolve_meter
 from ..engine.verdict import Verdict
 from .labelled import DEFAULT_BUDGET
-from .noisy import noisy_similar
+from .noisy import strict_bisimilar
 
 
 def set_partitions(items: tuple[Name, ...]) -> Iterator[list[list[Name]]]:
@@ -68,7 +69,8 @@ def identification_substitutions(names: frozenset[Name],
 def congruent(p: Process, q: Process, *, weak: bool = False,
               budget: Budget | Meter | None = None,
               max_pairs: int | None = None, max_states: int | None = None,
-              witness: list | None = None) -> Verdict:
+              witness: list | None = None,
+              calculus: str | CalculusBackend | None = None) -> Verdict:
     """Decide ``p ~c q`` (strong) or ``p ~~c q`` (weak).
 
     If *witness* is given, the distinguishing substitution (when any) is
@@ -82,8 +84,8 @@ def congruent(p: Process, q: Process, *, weak: bool = False,
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     names = free_names(p) | free_names(q)
     for sigma in identification_substitutions(names):
-        sub = noisy_similar(apply_subst(p, sigma), apply_subst(q, sigma),
-                            weak=weak, budget=meter)
+        sub = strict_bisimilar(apply_subst(p, sigma), apply_subst(q, sigma),
+                               weak=weak, budget=meter, calculus=calculus)
         if sub.is_unknown:
             return Verdict.unknown(sub.reason or "max-states",
                                    stats=meter.stats(), evidence=sigma)

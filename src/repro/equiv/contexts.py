@@ -141,14 +141,15 @@ def observer_contexts(p: Process, q: Process,
     fresh payload, per the channel's arity in use) and a forwarding
     listener that re-broadcasts receipt on a fresh probe channel.
     """
-    from ..core.semantics import input_capabilities
+    from ..calculi import registry as _registry
 
+    backend = _registry.default()
     fns = sorted(free_names(p) | free_names(q))
     probe, payload, x = fresh_names_for(p, q, 3, hint="obs")
     arities: dict[Name, set[int]] = {}
     for proc in (p, q):
         try:
-            for chan, k in input_capabilities(proc):
+            for chan, k in backend.input_capabilities(proc):
                 arities.setdefault(chan, set()).add(k)
         except ValueError:
             pass

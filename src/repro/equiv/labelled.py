@@ -26,17 +26,13 @@ from __future__ import annotations
 
 from itertools import count, product
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.actions import OutputAction, TauAction
+from ..core.binders import freshen_action_binders
 from ..core.canonical import canonical_state
-from ..core.discard import discards
 from ..core.freenames import free_names
 from ..core.names import Name
-from ..core.semantics import (
-    freshen_action_binders,
-    input_capabilities,
-    input_continuations,
-    step_transitions,
-)
 from ..core.substitution import apply_subst
 from ..core.syntax import Process
 from ..engine.budget import (
@@ -101,13 +97,15 @@ def _output_shape(action: OutputAction) -> tuple:
         ("bound", idx[o]) if o in idx else ("free", o) for o in action.objects))
 
 
-def _outputs(p: Process) -> list[tuple[OutputAction, Process]]:
-    return [(a, t) for a, t in step_transitions(p)
+def _outputs(p: Process,
+             backend: CalculusBackend) -> list[tuple[OutputAction, Process]]:
+    return [(a, t) for a, t in backend.step_transitions(p)
             if isinstance(a, OutputAction)]
 
 
-def _taus(p: Process) -> list[Process]:
-    return [t for a, t in step_transitions(p) if isinstance(a, TauAction)]
+def _taus(p: Process, backend: CalculusBackend) -> list[Process]:
+    return [t for a, t in backend.step_transitions(p)
+            if isinstance(a, TauAction)]
 
 
 def _align_output(action: OutputAction, target: Process,
@@ -124,22 +122,24 @@ def _align_output(action: OutputAction, target: Process,
     return apply_subst(target, mapping)
 
 
-def _input_moves(p: Process, chan: Name, values: tuple[Name, ...]) -> list[Process]:
+def _input_moves(p: Process, chan: Name, values: tuple[Name, ...],
+                 backend: CalculusBackend) -> list[Process]:
     """The ``-chan(values)?->`` moves: early inputs plus the discard-move."""
-    moves = list(input_continuations(p, chan, values))
-    if discards(p, chan):
+    moves = list(backend.input_continuations(p, chan, values))
+    if backend.discards(p, chan):
         moves.append(p)
     return moves
 
 
-def _tau_closure(p: Process, meter: Meter) -> tuple[Process, ...]:
+def _tau_closure(p: Process, meter: Meter,
+                 backend: CalculusBackend) -> tuple[Process, ...]:
     """All q with p ==> q, each member charged against *meter*'s pool."""
     seen = {canonical_state(p): p}
     stack = [p]
     while stack:
         meter.tick()
         q = stack.pop()
-        for t in _taus(q):
+        for t in _taus(q, backend):
             key = canonical_state(t)
             if key not in seen:
                 meter.charge()
@@ -161,9 +161,10 @@ def _pair_universe(p: Process, q: Process, arity: int) -> list[tuple[Name, ...]]
     return list(product(known + fresh, repeat=arity))
 
 
-def _io_subjects(p: Process, q: Process) -> list[tuple[Name, int]]:
+def _io_subjects(p: Process, q: Process,
+                 backend: CalculusBackend) -> list[tuple[Name, int]]:
     """(channel, arity) pairs on which at least one side is listening."""
-    return sorted(input_capabilities(p) | input_capabilities(q))
+    return sorted(backend.input_capabilities(p) | backend.input_capabilities(q))
 
 
 class _LabelledGame:
@@ -178,22 +179,25 @@ class _LabelledGame:
     regression baselines built on them — stay put.
     """
 
-    def __init__(self, weak: bool, meter: Meter, *, lazy: bool = False):
+    def __init__(self, weak: bool, meter: Meter, *, lazy: bool = False,
+                 backend: CalculusBackend | None = None):
         self.weak = weak
         self.meter = meter
+        self.backend = _registry.resolve(backend)
         self._reach: LazyReach[Process] | None = (
-            LazyReach(lambda s: phi_successors(s, steps=False), meter)
+            LazyReach(lambda s: phi_successors(s, steps=False,
+                                               backend=self.backend), meter)
             if (weak and lazy) else None)
 
     def tau_closure(self, p: Process) -> tuple[Process, ...]:
         if self._reach is not None:
             return tuple(self._reach.reach(canonical_state(p)))
-        return _tau_closure(p, self.meter)
+        return _tau_closure(p, self.meter, self.backend)
 
     # --- weak answer machinery ------------------------------------------
     def _answer_taus(self, q: Process) -> list[Process]:
         if not self.weak:
-            return _taus(q)
+            return _taus(q, self.backend)
         return list(self.tau_closure(q))
 
     def _answer_outputs(self, q: Process, reference: OutputAction,
@@ -202,7 +206,7 @@ class _LabelledGame:
         answers: list[Process] = []
         starts = self.tau_closure(q) if self.weak else (q,)
         for q1 in starts:
-            for action, q2 in _outputs(q1):
+            for action, q2 in _outputs(q1, self.backend):
                 aligned = _align_output(action, q2, reference)
                 if aligned is None:
                     continue
@@ -216,10 +220,10 @@ class _LabelledGame:
                        values: tuple[Name, ...]) -> list[Process]:
         """All q' answering the input-or-discard challenge."""
         if not self.weak:
-            return _input_moves(q, chan, values)
+            return _input_moves(q, chan, values, self.backend)
         answers: list[Process] = []
         for q1 in self.tau_closure(q):
-            for q2 in _input_moves(q1, chan, values):
+            for q2 in _input_moves(q1, chan, values, self.backend):
                 answers.extend(self.tau_closure(q2))
         return answers
 
@@ -237,19 +241,19 @@ class _LabelledGame:
         fn_pair = free_names(x) | free_names(y)
         # Clause 1: tau challenges.
         y_taus = None
-        for x1 in _taus(x):
+        for x1 in _taus(x, self.backend):
             if y_taus is None:
                 y_taus = self._answer_taus(y)
             chals.append([mk(x1, y1) for y1 in y_taus])
         # Clause 2: output challenges (free outputs are binderless).
-        for action, x1 in _outputs(x):
+        for action, x1 in _outputs(x, self.backend):
             ref, x1 = _canonicalize_output(action, x1, fn_pair)
             answers = self._answer_outputs(y, ref, fn_pair)
             chals.append([mk(x1, y1) for y1 in answers])
         # Clause 3: input-or-discard challenges.
-        for chan, arity in _io_subjects(x, y):
+        for chan, arity in _io_subjects(x, y, self.backend):
             for values in _pair_universe(x, y, arity):
-                x_moves = _input_moves(x, chan, values)
+                x_moves = _input_moves(x, chan, values, self.backend)
                 if not x_moves:
                     # x neither receives nor discards at this arity
                     # (cross-sorted pair): x has no a(b~)? move to answer.
@@ -271,6 +275,7 @@ def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
                        max_states: int | None = None,
                        strategy: str = "onthefly",
                        closures: "tuple[Closure, ...] | None" = None,
+                       calculus: str | CalculusBackend | None = None,
                        ) -> Verdict:
     """Decide strong (``p ~ q``) or weak (``p ~~ q``) labelled bisimilarity.
 
@@ -279,12 +284,15 @@ def labelled_bisimilar(p: Process, q: Process, *, weak: bool = False,
     is fully explored.  *strategy* picks the core: ``"onthefly"`` (the
     default) decides pair by pair with up-to *closures* and exits early;
     ``"global"`` runs the eager fixpoint game, kept as the test oracle.
+    *calculus* selects the broadcast semantics the clauses quantify over
+    (default: the paper's ``"bpi"`` backend).
     """
     validate_strategy(strategy)
     budget = legacy_cap("labelled_bisimilar", budget,
                         max_pairs=max_pairs, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
-    game = _LabelledGame(weak, meter, lazy=(strategy == "onthefly"))
+    game = _LabelledGame(weak, meter, lazy=(strategy == "onthefly"),
+                         backend=_registry.resolve(calculus))
     cache: dict[PairKey, list[list[PairKey]]] = {}
 
     def challenges_of(key: PairKey) -> list[list[PairKey]]:

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from itertools import product
 
+from ..calculi import registry as _registry
 from ..core.builder import inp, out
 from ..core.freenames import free_names
 from ..core.names import Name
 from ..core.reduction import can_reach_barb
-from ..core.semantics import step_transitions
 from ..core.actions import OutputAction
 from ..core.syntax import Par, Process
 from ..engine.budget import Budget, Meter, legacy_cap, resolve_meter
@@ -79,7 +79,7 @@ def output_traces(p: Process, max_depth: int = 6, *,
                 continue
             meter.charge()
             seen.add(key)
-            for action, target in step_transitions(state):
+            for action, target in _registry.default().step_transitions(state):
                 if isinstance(action, OutputAction):
                     step = str(action)
                     new_trace = trace + (step,)

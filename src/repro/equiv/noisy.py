@@ -25,13 +25,23 @@ closure-under-operators tests):
 * clause 4: a channel discarded by one side must be *weakly discardable*
   by the other (``q ==> q1`` with ``q1`` discarding it) — the weak
   counterpart of the strict input matching.
+
+Naming note: "noisy" here is the *paper's* word for the input-or-discard
+matching discipline, not a loss model — the calculus stays perfectly
+reliable.  Since the lossy backend (Cao's noisy *channels*) entered the
+registry the overload became untenable, so the checker is named
+:func:`strict_bisimilar` (it is the one-step *strict* relation) and is
+parameterised by backend; :func:`noisy_similar` survives as a deprecated
+shim.
 """
 
 from __future__ import annotations
 
-from ..core.discard import discards, listening_channels
+import warnings
+
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.freenames import free_names
-from ..core.semantics import input_continuations
 from ..core.syntax import Process
 from ..engine.budget import Budget, BudgetExceeded, Meter, legacy_cap, resolve_meter
 from ..engine.verdict import Verdict
@@ -48,43 +58,68 @@ from .labelled import (
 )
 
 
-def noisy_similar(p: Process, q: Process, *, weak: bool = False,
-                  budget: Budget | Meter | None = None,
-                  max_pairs: int | None = None,
-                  max_states: int | None = None) -> Verdict:
+def strict_bisimilar(p: Process, q: Process, *, weak: bool = False,
+                     budget: Budget | Meter | None = None,
+                     max_pairs: int | None = None,
+                     max_states: int | None = None,
+                     calculus: str | CalculusBackend | None = None) -> Verdict:
     """Decide ``p ~+ q`` (or the weak ``p ~~+ q``).
 
     All the per-successor ``~`` sub-checks draw from one shared meter, so
-    the whole noisy check is governed by a single budget; a trip anywhere
-    yields ``UNKNOWN``.
+    the whole check is governed by a single budget; a trip anywhere
+    yields ``UNKNOWN``.  *calculus* selects the broadcast semantics via
+    :mod:`repro.calculi.registry` (default: the paper's ``"bpi"``).
     """
-    budget = legacy_cap("noisy_similar", budget,
+    budget = legacy_cap("strict_bisimilar", budget,
                         max_pairs=max_pairs, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
     try:
-        flag = _noisy_similar(p, q, weak=weak, meter=meter)
+        flag = _strict_bisimilar(p, q, weak=weak, meter=meter,
+                                 backend=backend)
     except BudgetExceeded as exc:
         return Verdict.from_exceeded(exc)
     return Verdict.of(flag, stats=meter.stats())
 
 
-def _noisy_similar(p: Process, q: Process, *, weak: bool,
-                   meter: Meter) -> bool:
-    game = _LabelledGame(weak, meter)
+def noisy_similar(p: Process, q: Process, *, weak: bool = False,
+                  budget: Budget | Meter | None = None,
+                  max_pairs: int | None = None,
+                  max_states: int | None = None) -> Verdict:
+    """Deprecated alias of :func:`strict_bisimilar` (default backend).
+
+    .. deprecated::
+        The name collided with the *lossy* ("noisy channels") backend,
+        which models actual message loss; this relation is the paper's
+        one-step strict bisimilarity over perfectly reliable broadcast.
+        Call :func:`strict_bisimilar` instead.
+    """
+    warnings.warn(
+        "noisy_similar is deprecated; use strict_bisimilar (same relation, "
+        "backend-parameterised) instead",
+        DeprecationWarning, stacklevel=2)
+    return strict_bisimilar(p, q, weak=weak, budget=budget,
+                            max_pairs=max_pairs, max_states=max_states)
+
+
+def _strict_bisimilar(p: Process, q: Process, *, weak: bool, meter: Meter,
+                      backend: CalculusBackend) -> bool:
+    game = _LabelledGame(weak, meter, backend=backend)
 
     def related(a: Process, b: Process) -> bool:
         # bool() on an UNKNOWN sub-verdict raises IndeterminateVerdict (a
         # BudgetExceeded), unwinding the whole check to UNKNOWN.
-        return bool(labelled_bisimilar(a, b, weak=weak, budget=meter))
+        return bool(labelled_bisimilar(a, b, weak=weak, budget=meter,
+                                       calculus=backend))
 
     def answer_inputs_strict(y: Process, chan, values) -> list[Process]:
         """Genuine-input answers only (strict clause 3)."""
         if not weak:
-            return list(input_continuations(y, chan, values))
+            return list(backend.input_continuations(y, chan, values))
         answers: list[Process] = []
-        for y1 in _tau_closure(y, meter):
-            for y2 in input_continuations(y1, chan, values):
-                answers.extend(_tau_closure(y2, meter))
+        for y1 in _tau_closure(y, meter, backend):
+            for y2 in backend.input_continuations(y1, chan, values):
+                answers.extend(_tau_closure(y2, meter, backend))
         return answers
 
     for x, y, flip in ((p, q, False), (q, p, True)):
@@ -98,24 +133,24 @@ def _noisy_similar(p: Process, q: Process, *, weak: bool,
         # hold and choice contexts would break the congruence (Theorem 4).
         if weak:
             y_taus = [q2
-                      for q1 in _tau_closure(y, meter)
-                      for t in _taus(q1)
-                      for q2 in _tau_closure(t, meter)]
+                      for q1 in _tau_closure(y, meter, backend)
+                      for t in _taus(q1, backend)
+                      for q2 in _tau_closure(t, meter, backend)]
         else:
-            y_taus = _taus(y)
-        for x1 in _taus(x):
+            y_taus = _taus(y, backend)
+        for x1 in _taus(x, backend):
             if not any(ok(x1, y1) for y1 in y_taus):
                 return False
         # Clause 2: outputs by binder-aligned outputs.
-        for action, x1 in _outputs(x):
+        for action, x1 in _outputs(x, backend):
             ref, x1c = _canonicalize_output(action, x1, fn_pair)
             answers = game._answer_outputs(y, ref, fn_pair)
             if not any(ok(x1c, y1) for y1 in answers):
                 return False
         # Clause 3 (strict): genuine inputs by genuine inputs.
-        for chan, arity in _io_subjects(x, y):
+        for chan, arity in _io_subjects(x, y, backend):
             for values in _pair_universe(x, y, arity):
-                x_moves = input_continuations(x, chan, values)
+                x_moves = backend.input_continuations(x, chan, values)
                 if not x_moves:
                     continue
                 answers = answer_inputs_strict(y, chan, values)
@@ -124,9 +159,10 @@ def _noisy_similar(p: Process, q: Process, *, weak: bool,
                         return False
         # Clause 4 (weak only): discards matched by weak discards.
         if weak:
-            for chan in sorted(listening_channels(y) - listening_channels(x)):
-                if discards(x, chan) and not any(
-                        discards(y1, chan)
-                        for y1 in _tau_closure(y, meter)):
+            for chan in sorted(backend.listening_channels(y)
+                               - backend.listening_channels(x)):
+                if backend.discards(x, chan) and not any(
+                        backend.discards(y1, chan)
+                        for y1 in _tau_closure(y, meter, backend)):
                     return False
     return True

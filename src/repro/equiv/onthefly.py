@@ -44,6 +44,7 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol, runtime_checkable
 
+from ..calculi.backend import CalculusBackend
 from ..core.canonical import _free_occurrence_order, _sort_key, canonical_state
 from ..core.reduction import barbs
 from ..core.substitution import apply_subst
@@ -483,8 +484,9 @@ def product_root(p: Process, q: Process) -> PairKey:
     return (canonical_state(p), canonical_state(q))
 
 
-def reduction_challenges(*, steps: bool, weak: bool,
-                         meter: Meter) -> ChallengeFn:
+def reduction_challenges(*, steps: bool, weak: bool, meter: Meter,
+                         backend: CalculusBackend | None = None
+                         ) -> ChallengeFn:
     """Challenges for barbed (``steps=False``) / step (``steps=True``)
     bisimilarity, strong or weak.
 
@@ -494,10 +496,12 @@ def reduction_challenges(*, steps: bool, weak: bool,
     keys are weak barbs — strong bisimilarity over the saturated graph,
     exactly what the global checker computes.  Reach sets come from one
     :class:`~repro.lts.weak.LazyReach` per run so saturation is paid
-    per *visited* state, charged to the shared *meter*.
+    per *visited* state, charged to the shared *meter*.  *backend*
+    selects the broadcast semantics the reductions come from (default:
+    the paper's ``"bpi"``).
     """
     def succ(s: Process) -> tuple[Process, ...]:
-        return phi_successors(s, steps=steps)
+        return phi_successors(s, steps=steps, backend=backend)
 
     reach: LazyReach[Process] | None = (
         LazyReach(succ, meter) if weak else None)

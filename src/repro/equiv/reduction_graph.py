@@ -21,11 +21,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.actions import OutputAction, TauAction
+from ..core.binders import freshen_action_binders
 from ..core.canonical import canonical_state
 from ..core.freenames import free_names
 from ..core.reduction import barbs
-from ..core.semantics import freshen_action_binders, step_transitions
 from ..core.syntax import Process
 from ..engine.budget import (
     Budget,
@@ -64,23 +66,36 @@ def canonical_extrusion(action: OutputAction, target: Process,
     return apply_subst(target, mapping)
 
 
-def phi_successors(state: Process, *, steps: bool) -> tuple[Process, ...]:
+def phi_successors(state: Process, *, steps: bool,
+                   backend: CalculusBackend | None = None
+                   ) -> tuple[Process, ...]:
     """The canonical ``-phi->`` (or tau-only) successor states of *state*.
 
     Targets are canonicalized (:func:`canonical_state`) with bound
     outputs renamed by :func:`canonical_extrusion`, and deduplicated
     preserving derivation order.  Memoized on the interned node (one slot
-    per ``steps`` flavour) — the shared successor function of the global
-    graph builder and the on-the-fly product core.
+    per ``steps`` flavour) when running under the default semantics; a
+    non-default backend memoizes in its own per-instance table, so the
+    slot caches never mix semantics.  The shared successor function of
+    the global graph builder and the on-the-fly product core.
     """
-    slot = "_phisucc" if steps else "_tausucc"
-    try:
-        return getattr(state, slot)
-    except AttributeError:
-        pass
+    if backend is None:
+        backend = _registry.default()
+    if backend.name == "bpi":
+        slot = "_phisucc" if steps else "_tausucc"
+        try:
+            return getattr(state, slot)
+        except AttributeError:
+            pass
+    else:
+        memo = backend.memo("phisucc" if steps else "tausucc")
+        try:
+            return memo[state]
+        except KeyError:
+            pass
     out: dict[Process, None] = {}
     fn_state: frozenset[str] | None = None
-    for action, target in step_transitions(state):
+    for action, target in backend.step_transitions(state):
         if isinstance(action, TauAction):
             pass  # always followed
         elif not steps:
@@ -95,7 +110,10 @@ def phi_successors(state: Process, *, steps: bool) -> tuple[Process, ...]:
                 target = canonical_extrusion(action, target, fn_state)
         out[canonical_state(target)] = None
     result = tuple(out)
-    setattr(state, slot, result)
+    if backend.name == "bpi":
+        setattr(state, slot, result)
+    else:
+        memo[state] = result
     return result
 
 
@@ -127,6 +145,7 @@ class ReductionGraph:
 def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
                           budget: Budget | Meter | None = None,
                           max_states: int | None = None,
+                          backend: CalculusBackend | None = None,
                           ) -> tuple[ReductionGraph, tuple[int, ...]]:
     """Explore the tau-graph (``steps=False``) or phi-graph (``steps=True``)
     from all *roots* into one shared :class:`ReductionGraph`.
@@ -137,6 +156,7 @@ def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
     """
     budget = legacy_cap("build_reduction_graph", budget,
                         max_states=max_states)
+    backend = _registry.resolve(backend)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     graph = ReductionGraph()
     queue: deque[int] = deque()
@@ -151,7 +171,8 @@ def build_reduction_graph(roots: tuple[Process, ...], *, steps: bool,
         while queue:
             sid = queue.popleft()
             state = graph.states[sid]
-            for target in phi_successors(state, steps=steps):
+            for target in phi_successors(state, steps=steps,
+                                         backend=backend):
                 tid, fresh = graph.intern(target)
                 if fresh:
                     meter.charge()

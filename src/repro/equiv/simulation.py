@@ -13,6 +13,7 @@ checker, with only the left-to-right challenge family.
 
 from __future__ import annotations
 
+from ..calculi.backend import CalculusBackend
 from ..core.syntax import Process
 from ..engine.budget import (
     Budget,
@@ -37,12 +38,13 @@ class _SimulationGame(_LabelledGame):
 def simulates(q: Process, p: Process, *, weak: bool = False,
               budget: Budget | Meter | None = None,
               max_pairs: int | None = None,
-              max_states: int | None = None) -> Verdict:
+              max_states: int | None = None,
+              calculus: str | CalculusBackend | None = None) -> Verdict:
     """Does *q* simulate *p* (``p <= q``)?"""
     budget = legacy_cap("simulates", budget,
                         max_pairs=max_pairs, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
-    game = _SimulationGame(weak, meter)
+    game = _SimulationGame(weak, meter, backend=calculus)
     cache: dict = {}
 
     def challenges_of(key):

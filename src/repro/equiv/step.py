@@ -19,6 +19,8 @@ the oracle the property tests compare against.
 
 from __future__ import annotations
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.syntax import Process
 from ..engine.budget import (
     Budget,
@@ -40,11 +42,12 @@ from .reduction_graph import DEFAULT_BUDGET, build_reduction_graph
 
 
 def _onthefly_reduction(p: Process, q: Process, *, steps: bool, weak: bool,
-                        meter: Meter) -> Verdict:
+                        meter: Meter,
+                        backend: CalculusBackend | None = None) -> Verdict:
     """Shared on-the-fly driver for the step and barbed checkers."""
     try:
         challenges = reduction_challenges(steps=steps, weak=weak,
-                                          meter=meter)
+                                          meter=meter, backend=backend)
         flag = explore_product(product_root(p, q), challenges, budget=meter)
     except BudgetExceeded as exc:
         return Verdict.from_exceeded(exc)
@@ -54,17 +57,21 @@ def _onthefly_reduction(p: Process, q: Process, *, steps: bool, weak: bool,
 def strong_step_bisimilar(p: Process, q: Process, *,
                           budget: Budget | Meter | None = None,
                           max_states: int | None = None,
-                          strategy: str = "onthefly") -> Verdict:
+                          strategy: str = "onthefly",
+                          calculus: str | CalculusBackend | None = None
+                          ) -> Verdict:
     """Decide ``p ~phi q`` (strong step-bisimilarity)."""
     validate_strategy(strategy)
     budget = legacy_cap("strong_step_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
     if strategy == "onthefly":
-        return _onthefly_reduction(p, q, steps=True, weak=False, meter=meter)
+        return _onthefly_reduction(p, q, steps=True, weak=False, meter=meter,
+                                   backend=backend)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
-                                                budget=meter)
+                                                budget=meter, backend=backend)
         block = coarsest_partition(graph.frozen_successors(),
                                    graph.state_barbs, budget=meter)
     except BudgetExceeded as exc:
@@ -75,17 +82,21 @@ def strong_step_bisimilar(p: Process, q: Process, *,
 def weak_step_bisimilar(p: Process, q: Process, *,
                         budget: Budget | Meter | None = None,
                         max_states: int | None = None,
-                        strategy: str = "onthefly") -> Verdict:
+                        strategy: str = "onthefly",
+                        calculus: str | CalculusBackend | None = None
+                        ) -> Verdict:
     """Decide ``p ~~phi q`` (weak step-bisimilarity)."""
     validate_strategy(strategy)
     budget = legacy_cap("weak_step_bisimilar", budget,
                         max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
     if strategy == "onthefly":
-        return _onthefly_reduction(p, q, steps=True, weak=True, meter=meter)
+        return _onthefly_reduction(p, q, steps=True, weak=True, meter=meter,
+                                   backend=backend)
     try:
         graph, (rp, rq) = build_reduction_graph((p, q), steps=True,
-                                                budget=meter)
+                                                budget=meter, backend=backend)
         closure = reachability_closure(graph.frozen_successors())
         keys = weak_keys(closure, graph.state_barbs)
         block = coarsest_partition(closure, keys, budget=meter)
@@ -97,9 +108,12 @@ def weak_step_bisimilar(p: Process, q: Process, *,
 def step_bisimilar(p: Process, q: Process, *, weak: bool = False,
                    budget: Budget | Meter | None = None,
                    max_states: int | None = None,
-                   strategy: str = "onthefly") -> Verdict:
+                   strategy: str = "onthefly",
+                   calculus: str | CalculusBackend | None = None) -> Verdict:
     """Dispatch on *weak*."""
     budget = legacy_cap("step_bisimilar", budget, max_states=max_states)
     if weak:
-        return weak_step_bisimilar(p, q, budget=budget, strategy=strategy)
-    return strong_step_bisimilar(p, q, budget=budget, strategy=strategy)
+        return weak_step_bisimilar(p, q, budget=budget, strategy=strategy,
+                                   calculus=calculus)
+    return strong_step_bisimilar(p, q, budget=budget, strategy=strategy,
+                                 calculus=calculus)

@@ -66,16 +66,42 @@ def selected_passes(select: "str | Iterable[str] | None" = None,
 def run_lint(term: Process, *,
              spans: SpanTable | None = None,
              select: "str | Iterable[str] | None" = None,
-             ignore: "str | Iterable[str] | None" = None) -> LintReport:
+             ignore: "str | Iterable[str] | None" = None,
+             calculus: "str | None" = None) -> LintReport:
     """Run the (selected) passes over *term* and collect a report.
 
     Passes are pure syntactic analyses: the term is never mutated, no
     new nodes are interned, no recursion is unfolded.  *spans* (from
     :func:`repro.core.parser.parse_with_spans`) positions findings in
     the original source.
+
+    A non-default *calculus* adds the backend's well-formedness check as
+    synthetic pass ``BP103``: a term the backend's ``check_sorts``
+    rejects (e.g. a bound wireless topology cell) is reported as an
+    error at the root.  Only *backend-specific* rejections fire — a term
+    the default backend rejects too is plain sort trouble, which is
+    BP102's (scope-aware) territory.
     """
     diagnostics: list[Diagnostic] = []
     timings: dict[str, float] = {}
+    if calculus is not None:
+        from ..calculi import registry as _registry
+        backend = _registry.resolve(calculus)
+        if backend.name != "bpi":
+            t0 = time.perf_counter()
+            try:
+                backend.check_sorts(term)
+            except ValueError as exc:
+                try:
+                    _registry.default().check_sorts(term)
+                except ValueError:
+                    pass  # rejected by every backend: BP102's territory
+                else:
+                    diagnostics.append(Diagnostic(
+                        "BP103", Severity.ERROR,
+                        f"ill-formed for the {backend.name!r} backend: "
+                        f"{exc}"))
+            timings["BP103"] = time.perf_counter() - t0
     for p in selected_passes(select, ignore):
         severity = _SEVERITY_BY_NAME[p.severity]
         t0 = time.perf_counter()

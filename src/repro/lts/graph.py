@@ -21,16 +21,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.actions import Action, InputAction, OutputAction, TauAction
 from ..core.canonical import canonical_state
 from ..core.freenames import free_names
 from ..core.names import NameUniverse
 from ..core.reduction import barbs
-from ..core.semantics import (
-    input_capabilities,
-    input_continuations,
-    step_transitions,
-)
 from ..core.syntax import Process, Restrict
 from ..engine.budget import (
     Budget,
@@ -119,7 +116,9 @@ def build_step_lts(p: Process, *,
                    budget: Budget | Meter | None = None,
                    close_binders: bool = True,
                    max_states: int | None = None,
-                   workers: int = 0) -> tuple[LTS, int]:
+                   workers: int = 0,
+                   calculus: str | CalculusBackend | None = None
+                   ) -> tuple[LTS, int]:
     """Explore the ``-phi->`` graph from *p*; returns (lts, initial id).
 
     Raw-explorer contract: when the budget trips this raises
@@ -130,13 +129,17 @@ def build_step_lts(p: Process, *,
     ``workers >= 2`` shards frontier expansion across a process pool
     (see :mod:`repro.lts.parallel`); the resulting graph — including the
     partial graph on a trip — is identical to the serial one.
+
+    ``calculus`` selects the broadcast semantics via
+    :mod:`repro.calculi.registry` (default: the paper's ``"bpi"``).
     """
     budget = legacy_cap("build_step_lts", budget, max_states=max_states)
+    backend = _registry.resolve(calculus)
     if workers >= 2:
         from .parallel import parallel_step_lts
         return parallel_step_lts(p, budget=budget,
                                  close_binders=close_binders,
-                                 workers=workers)
+                                 workers=workers, calculus=backend)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     with _tracing.span("lts.build_step") as sp:
         lts = LTS()
@@ -155,7 +158,7 @@ def build_step_lts(p: Process, *,
                     _progress.report("lts.build_step", states=lts.n_states,
                                      edges=lts.n_edges, frontier=len(queue))
                 state = lts.states[sid]
-                for action, target in step_transitions(state):
+                for action, target in backend.step_transitions(state):
                     if close_binders:
                         target = _close_binders(action, target)
                     tgt = canonical_state(target)
@@ -196,7 +199,9 @@ def canonical_output_label(action: OutputAction) -> OutputAction:
 def build_full_lts(p: Process, universe: NameUniverse | None = None, *,
                    budget: Budget | Meter | None = None,
                    n_fresh: int = 1,
-                   max_states: int | None = None) -> tuple[LTS, int]:
+                   max_states: int | None = None,
+                   calculus: str | CalculusBackend | None = None
+                   ) -> tuple[LTS, int]:
     """Explore outputs, taus *and* universe-instantiated inputs from *p*.
 
     Bound-output labels are canonicalized via
@@ -206,6 +211,7 @@ def build_full_lts(p: Process, universe: NameUniverse | None = None, *,
     attached to ``exc.partial``.
     """
     budget = legacy_cap("build_full_lts", budget, max_states=max_states)
+    backend = _registry.resolve(calculus)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     if universe is None:
         universe = NameUniverse(free_names(p), n_fresh)
@@ -237,15 +243,16 @@ def build_full_lts(p: Process, universe: NameUniverse | None = None, *,
                     _progress.report("lts.build_full", states=lts.n_states,
                                      edges=lts.n_edges, frontier=len(queue))
                 state = lts.states[sid]
-                for action, target in step_transitions(state):
+                for action, target in backend.step_transitions(state):
                     if isinstance(action, OutputAction) and action.binders:
                         intern(_close_binders(action, target), sid,
                                canonical_output_label(action))
                     else:
                         intern(target, sid, action)
-                for chan, arity in sorted(input_capabilities(state)):
+                for chan, arity in sorted(backend.input_capabilities(state)):
                     for values in universe.vectors(arity):
-                        for target in input_continuations(state, chan, values):
+                        for target in backend.input_continuations(
+                                state, chan, values):
                             intern(target, sid, InputAction(chan, values))
         except BudgetExceeded as exc:
             if exc.partial is None:

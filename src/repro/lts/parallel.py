@@ -10,8 +10,8 @@ level-synchronous BFS with a strict owner split:
 * **workers** (a ``ProcessPoolExecutor``) are stateless expanders: each
   receives a disjoint batch of frontier states as
   :mod:`repro.store.codec` bytes, re-interns them, fires the broadcast
-  semantics (:func:`step_transitions`) and ships back per-source edge
-  lists — labels as :func:`action_to_wire` tuples, targets as canonical
+  semantics of the payload's calculus backend and ships back per-source
+  edge lists — labels as :func:`action_to_wire` tuples, targets as canonical
   encoded bytes.
 
 Soundness (the ``docs/paper_map.md`` "parallel exploration" row): the
@@ -49,8 +49,9 @@ import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.canonical import canonical_state, canonical_state_collapsed
-from ..core.semantics import step_transitions
 from ..core.syntax import Process
 from ..engine.budget import Budget, BudgetExceeded, Meter, resolve_meter
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
@@ -79,10 +80,11 @@ _POOL_ERRORS = (BrokenProcessPool, OSError, PermissionError, RuntimeError,
 def expand_shard(payload: tuple) -> dict:
     """Expand one batch of frontier states (pool entry point).
 
-    ``payload`` is ``(mode, opt, deadline_slice, blobs)`` where ``mode``
-    is ``"step"`` (opt = close_binders) or ``"reach"`` (opt = collapse),
-    ``deadline_slice`` is the seconds of wall clock this shard may
-    spend (``None`` = unwatched) and ``blobs`` the codec-encoded
+    ``payload`` is ``(mode, opt, deadline_slice, calculus, blobs)``
+    where ``mode`` is ``"step"`` (opt = close_binders) or ``"reach"``
+    (opt = collapse), ``deadline_slice`` is the seconds of wall clock
+    this shard may spend (``None`` = unwatched), ``calculus`` a registry
+    spec string selecting the semantics, and ``blobs`` the codec-encoded
     sources.  Returns a wire dict::
 
         {"targets": [unique target bytes...], "rows": [...],
@@ -105,7 +107,8 @@ def expand_shard(payload: tuple) -> dict:
     """
     from ..store.codec import action_to_wire, decode, encode
 
-    mode, opt, deadline_slice, blobs = payload
+    mode, opt, deadline_slice, calculus, blobs = payload
+    backend = _registry.resolve(calculus)
     t0 = time.monotonic()
     deadline_at = None if deadline_slice is None else t0 + deadline_slice
     table: list[bytes] = []
@@ -131,14 +134,14 @@ def expand_shard(payload: tuple) -> dict:
         src = decode(blob)
         if mode == "step":
             row: list = []
-            for action, target in step_transitions(src):
+            for action, target in backend.step_transitions(src):
                 if opt:
                     target = _close_binders(action, target)
                 row.append((action_to_wire(action),
                             tref(canonical_state(target))))
         else:
             row = [tref(canon(target))
-                   for _, target in _closed_successors(src)]
+                   for _, target in _closed_successors(src, backend)]
         rows.append(row)
     return {"targets": table, "rows": rows, "expanded": len(rows),
             "tripped": tripped, "seconds": time.monotonic() - t0}
@@ -269,7 +272,8 @@ def _shard_tripped(reason: str, meter: Meter) -> BudgetExceeded:
 def parallel_step_lts(p: Process, *,
                       budget: Budget | Meter | None = None,
                       close_binders: bool = True,
-                      workers: int = 2) -> tuple:
+                      workers: int = 2,
+                      calculus: str | CalculusBackend | None = None) -> tuple:
     """Sharded :func:`~repro.lts.graph.build_step_lts`; same contract.
 
     Returns the *identical* ``(lts, root)`` the serial explorer builds —
@@ -282,6 +286,8 @@ def parallel_step_lts(p: Process, *,
     from .graph import DEFAULT_BUDGET, LTS, build_step_lts
 
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
+    spec = backend.spec
     workers = max(1, int(workers))
     with _tracing.span("lts.parallel") as sp:
         sp.set(workers=workers)
@@ -292,7 +298,8 @@ def parallel_step_lts(p: Process, *,
                 _metrics.inc("parallel.degraded")
             sp.set(degraded="pool-unavailable")
             return build_step_lts(p, budget=meter,
-                                  close_binders=close_binders)
+                                  close_binders=close_binders,
+                                  calculus=backend)
         stats = _ShardStats()
         pool_ref: list[Executor | None] = [pool]
         lts = LTS()
@@ -306,7 +313,7 @@ def parallel_step_lts(p: Process, *,
                 stats.account_level(n_batches, workers)
                 slice_s = _deadline_slice(meter)
                 payloads = [
-                    ("step", close_binders, slice_s,
+                    ("step", close_binders, slice_s, spec,
                      [encode(lts.states[sid]) for sid in batch])
                     for batch in sid_batches]
                 results = _dispatch_level(pool_ref, payloads, stats)
@@ -364,7 +371,9 @@ def parallel_step_lts(p: Process, *,
 def parallel_reachable_states(p: Process, *,
                               budget: Budget | Meter | None = None,
                               collapse: bool = True,
-                              workers: int = 2) -> list[Process]:
+                              workers: int = 2,
+                              calculus: str | CalculusBackend | None = None
+                              ) -> list[Process]:
     """Sharded :func:`~repro.runtime.analysis.reachable_states`.
 
     Same contract and — by in-order merging — the identical state list
@@ -375,6 +384,8 @@ def parallel_reachable_states(p: Process, *,
     from ..store.codec import decode, encode
 
     meter = resolve_meter(budget, DEFAULT_BUDGET)
+    backend = _registry.resolve(calculus)
+    spec = backend.spec
     workers = max(1, int(workers))
     with _tracing.span("reach.parallel") as sp:
         sp.set(workers=workers)
@@ -384,7 +395,8 @@ def parallel_reachable_states(p: Process, *,
             if _OBS.enabled:
                 _metrics.inc("parallel.degraded")
             sp.set(degraded="pool-unavailable")
-            return reachable_states(p, budget=meter, collapse=collapse)
+            return reachable_states(p, budget=meter, collapse=collapse,
+                                    calculus=backend)
         stats = _ShardStats()
         pool_ref: list[Executor | None] = [pool]
         canon = canonical_state_collapsed if collapse else canonical_state
@@ -399,7 +411,7 @@ def parallel_reachable_states(p: Process, *,
                 term_batches = _split(frontier, n_batches)
                 stats.account_level(n_batches, workers)
                 slice_s = _deadline_slice(meter)
-                payloads = [("reach", collapse, slice_s,
+                payloads = [("reach", collapse, slice_s, spec,
                              [encode(s) for s in batch])
                             for batch in term_batches]
                 results = _dispatch_level(pool_ref, payloads, stats)

@@ -38,9 +38,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterator
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.actions import TauAction
 from ..core.canonical import canonical_state, canonical_state_collapsed
-from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
 from ..engine.budget import (
     Budget,
@@ -61,9 +62,13 @@ def _canon(collapse: bool):
     return canonical_state_collapsed if collapse else canonical_state
 
 
-def _closed_successors(state: Process) -> Iterator[tuple[bool, Process]]:
+def _closed_successors(state: Process,
+                       backend: CalculusBackend | None = None
+                       ) -> Iterator[tuple[bool, Process]]:
     """(is_tau, successor) pairs with extrusions re-bound."""
-    for action, target in step_transitions(state):
+    if backend is None:
+        backend = _registry.default()
+    for action, target in backend.step_transitions(state):
         if getattr(action, "binders", ()):
             for b in reversed(action.binders):
                 target = Restrict(b, target)
@@ -73,7 +78,9 @@ def _closed_successors(state: Process) -> Iterator[tuple[bool, Process]]:
 def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
                      collapse: bool = True,
                      max_states: int | None = None,
-                     workers: int = 0) -> list[Process]:
+                     workers: int = 0,
+                     calculus: str | CalculusBackend | None = None
+                     ) -> list[Process]:
     """All reachable canonical states (BFS, budget-governed).
 
     Raw-explorer contract: a budget trip raises
@@ -83,10 +90,12 @@ def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
     list in the identical order.
     """
     budget = legacy_cap("reachable_states", budget, max_states=max_states)
+    backend = _registry.resolve(calculus)
     if workers >= 2:
         from ..lts.parallel import parallel_reachable_states
         return parallel_reachable_states(p, budget=budget,
-                                         collapse=collapse, workers=workers)
+                                         collapse=collapse, workers=workers,
+                                         calculus=backend)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
     start = canon(p)
@@ -97,7 +106,7 @@ def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
     try:
         while queue:
             state = queue.popleft()
-            for _, target in _closed_successors(state):
+            for _, target in _closed_successors(state, backend):
                 key = canon(target)
                 if key in seen:
                     continue
@@ -114,31 +123,34 @@ def reachable_states(p: Process, *, budget: Budget | Meter | None = None,
 
 def find_quiescent(p: Process, **kw) -> list[Process]:
     """Reachable states with no autonomous step (deadlocks/termination)."""
+    backend = _registry.resolve(kw.get("calculus"))
     return [s for s in reachable_states(p, **kw)
-            if not step_transitions(s)]
+            if not backend.step_transitions(s)]
 
 
 def can_diverge(p: Process, *, budget: Budget | Meter | None = None,
                 collapse: bool = True,
                 max_states: int | None = None,
-                workers: int = 0) -> Verdict:
+                workers: int = 0,
+                calculus: str | CalculusBackend | None = None) -> Verdict:
     """Is a tau-only cycle reachable?  (Infinite internal chatter.)
 
     ``UNKNOWN`` when the reachable set is truncated by the budget — an
     unexplored region may still hide a cycle.
     """
     budget = legacy_cap("can_diverge", budget, max_states=max_states)
+    backend = _registry.resolve(calculus)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     canon = _canon(collapse)
     try:
         states = reachable_states(p, budget=meter, collapse=collapse,
-                                  workers=workers)
+                                  workers=workers, calculus=backend)
     except BudgetExceeded as exc:
         return Verdict.from_exceeded(exc)
     index = {s: i for i, s in enumerate(states)}
     tau_succ: list[list[int]] = [[] for _ in states]
     for s in states:
-        for is_tau, target in _closed_successors(s):
+        for is_tau, target in _closed_successors(s, backend):
             if is_tau:
                 tau_succ[index[s]].append(index[canon(target)])
     # cycle detection in the tau-subgraph
@@ -213,8 +225,9 @@ def eventually_always(p: Process, predicate: Predicate, *,
         quiescent = find_quiescent(p, budget=meter, collapse=collapse,
                                    workers=workers)
     except BudgetExceeded as exc:
+        backend = _registry.default()
         for s in (exc.partial or ()):
-            if not step_transitions(s) and not predicate(s):
+            if not backend.step_transitions(s) and not predicate(s):
                 return Verdict.of(False, stats=meter.stats(), evidence=s)
         return Verdict.from_exceeded(exc)
     for s in quiescent:

@@ -43,10 +43,11 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+from ..calculi import registry as _registry
+from ..calculi.backend import CalculusBackend
 from ..core.actions import OutputAction
 from ..core.canonical import canonical_state
 from ..core.names import Name
-from ..core.semantics import step_transitions
 from ..core.syntax import Process, Restrict
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
@@ -74,7 +75,8 @@ def round_robin_policy() -> Policy:
 def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
         policy: Policy | str = "random",
         stop_on_barb: Name | None = None,
-        rebind_extrusions: bool = True) -> Trace:
+        rebind_extrusions: bool = True,
+        calculus: str | CalculusBackend | None = None) -> Trace:
     """Execute *p* for up to *max_steps* autonomous steps.
 
     ``rebind_extrusions`` keeps the system closed: names extruded by a
@@ -82,7 +84,11 @@ def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
     a closed system — there is no environment to remember them — and it
     keeps states small).  Set ``stop_on_barb`` to end the run as soon as a
     broadcast on that channel happens (it is recorded first).
+
+    ``calculus`` selects the broadcast semantics via
+    :mod:`repro.calculi.registry` (default: the paper's ``"bpi"``).
     """
+    backend = _registry.resolve(calculus)
     if policy == "random":
         policy_fn: Policy = random_policy(seed)
     elif policy == "round_robin":
@@ -98,7 +104,7 @@ def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
         trace = Trace()
         state = p
         for i in range(max_steps):
-            moves = step_transitions(state)
+            moves = backend.step_transitions(state)
             if not moves:
                 trace.quiescent = True
                 break
@@ -123,14 +129,19 @@ def run(p: Process, *, seed: int = 0, max_steps: int = 1_000,
 
 
 def run_until_quiescent(p: Process, *, seed: int = 0,
-                        max_steps: int = 10_000) -> Trace:
+                        max_steps: int = 10_000,
+                        calculus: str | CalculusBackend | None = None
+                        ) -> Trace:
     """Run to quiescence (or the step budget); convenience wrapper."""
-    return run(p, seed=seed, max_steps=max_steps)
+    return run(p, seed=seed, max_steps=max_steps, calculus=calculus)
 
 
 def sample_runs(p: Process, *, seeds: Sequence[int],
                 max_steps: int = 1_000,
-                stop_on_barb: Name | None = None) -> list[Trace]:
+                stop_on_barb: Name | None = None,
+                calculus: str | CalculusBackend | None = None
+                ) -> list[Trace]:
     """Independent seeded runs — crude statistical coverage of schedules."""
-    return [run(p, seed=s, max_steps=max_steps, stop_on_barb=stop_on_barb)
+    return [run(p, seed=s, max_steps=max_steps, stop_on_barb=stop_on_barb,
+                calculus=calculus)
             for s in seeds]

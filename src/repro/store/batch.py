@@ -47,7 +47,7 @@ from ..equiv.onthefly import PartialProduct
 from ..obs import metrics as _metrics, progress as _progress, tracing as _tracing
 from ..obs.state import STATE as _OBS
 from .codec import decode, encode, pair_key
-from .db import VerdictStore, equivalence_name, request_cap
+from .db import VerdictStore, calculus_key, equivalence_name, request_cap
 
 __all__ = ["CheckRequest", "BatchResult", "BatchOutcome", "RELATION_NAMES",
            "parse_requests", "run_batch", "evaluate_request", "serve"]
@@ -76,6 +76,7 @@ class CheckRequest:
     strategy: str | None = None
     max_states: int | None = None
     deadline: float | None = None
+    calculus: str | None = None
     id: str | None = None
 
     def budget(self) -> Budget | None:
@@ -87,8 +88,12 @@ class CheckRequest:
         return request_cap(self.budget())
 
     def task_key(self) -> tuple[str, str, str, int | None]:
-        """The dedup identity: content-addressed pair + check parameters."""
-        return (pair_key(self.p, self.q),
+        """The dedup identity: content-addressed pair + check parameters.
+
+        The pair key already bakes in the canonical backend key, so two
+        requests under different calculi (or differently-spelled
+        equivalent wireless topologies) never collapse to one task."""
+        return (pair_key(self.p, self.q, calculus=calculus_key(self.calculus)),
                 equivalence_name(self.relation, self.weak),
                 self.strategy or "default",
                 self.cap())
@@ -159,7 +164,7 @@ def parse_requests(lines: "Iterable[str]") -> list[CheckRequest]:
 def request_from_record(rec: dict[str, Any]) -> CheckRequest:
     """Build a :class:`CheckRequest` from one decoded JSON object."""
     unknown = set(rec) - {"p", "q", "relation", "weak", "strategy",
-                          "max_states", "deadline", "id"}
+                          "max_states", "deadline", "calculus", "id"}
     if unknown:
         raise RequestError(f"unknown fields {sorted(unknown)}")
     for side in ("p", "q"):
@@ -176,10 +181,19 @@ def request_from_record(rec: dict[str, Any]) -> CheckRequest:
     deadline = rec.get("deadline")
     if deadline is not None and not isinstance(deadline, (int, float)):
         raise RequestError("deadline must be a number of seconds")
+    calculus = rec.get("calculus")
+    if calculus is not None:
+        if not isinstance(calculus, str):
+            raise RequestError("calculus must be a backend spec string")
+        from ..calculi import registry as _registry
+        try:
+            _registry.resolve(calculus)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from None
     return CheckRequest(
         p=_parse(rec["p"]), q=_parse(rec["q"]), relation=relation,
         weak=bool(rec.get("weak", False)), strategy=rec.get("strategy"),
-        max_states=max_states, deadline=deadline,
+        max_states=max_states, deadline=deadline, calculus=calculus,
         id=str(rec["id"]) if rec.get("id") is not None else None)
 
 
@@ -188,7 +202,8 @@ def request_from_record(rec: dict[str, Any]) -> CheckRequest:
 def evaluate_request(p: Process, q: Process, *, relation: str = "labelled",
                      weak: bool = False, strategy: str | None = None,
                      max_states: int | None = None,
-                     deadline: float | None = None) -> Verdict:
+                     deadline: float | None = None,
+                     calculus: str | None = None) -> Verdict:
     """Run one check under its per-task budget.  **Verdict-level**: this
     is the function the pool executes (via :func:`_worker_check`), and a
     tripped budget must come back as an UNKNOWN verdict, never as a
@@ -199,7 +214,7 @@ def evaluate_request(p: Process, q: Process, *, relation: str = "labelled",
         budget = Budget(max_states=max_states, deadline=deadline)
     try:
         return check(p, q, relation=relation, weak=weak, budget=budget,
-                     strategy=strategy)
+                     strategy=strategy, calculus=calculus)
     except BudgetExceeded as exc:
         # check() already degrades trips to UNKNOWN; this is the
         # worker-boundary backstop should any future checker forget.
@@ -241,17 +256,17 @@ def _worker_check(payload: tuple) -> dict[str, Any]:
     wire the verdict back.  Must stay module-level and take one
     picklable argument."""
     (p_bytes, q_bytes, relation, weak, strategy,
-     max_states, deadline) = payload
+     max_states, deadline, calculus) = payload
     p, q = decode(p_bytes), decode(q_bytes)
     verdict = evaluate_request(p, q, relation=relation, weak=weak,
                                strategy=strategy, max_states=max_states,
-                               deadline=deadline)
+                               deadline=deadline, calculus=calculus)
     return _verdict_to_wire(verdict)
 
 
 def _task_payload(req: CheckRequest) -> tuple:
     return (encode(req.p), encode(req.q), req.relation, req.weak,
-            req.strategy, req.max_states, req.deadline)
+            req.strategy, req.max_states, req.deadline, req.calculus)
 
 
 # -- the coordinator ---------------------------------------------------------
@@ -283,7 +298,7 @@ def run_batch(requests: "Iterable[CheckRequest]", *,
             if store is not None:
                 cached = store.lookup(req.p, req.q, relation=req.relation,
                                       weak=req.weak, strategy=req.strategy,
-                                      cap=req.cap())
+                                      cap=req.cap(), calculus=req.calculus)
             if cached is not None:
                 answered[key] = (cached, "store")
                 outcome.store_hits += 1
@@ -302,7 +317,7 @@ def run_batch(requests: "Iterable[CheckRequest]", *,
             if store is not None:
                 store.record(req.p, req.q, verdict, relation=req.relation,
                              weak=req.weak, strategy=req.strategy,
-                             cap=req.cap())
+                             cap=req.cap(), calculus=req.calculus)
             if _OBS.enabled:
                 _metrics.inc("batch.dispatch")
                 _progress.report("batch.dispatch", done=done, total=total,
@@ -316,7 +331,7 @@ def run_batch(requests: "Iterable[CheckRequest]", *,
                 note_done(req, key, evaluate_request(
                     req.p, req.q, relation=req.relation, weak=req.weak,
                     strategy=req.strategy, max_states=req.max_states,
-                    deadline=req.deadline))
+                    deadline=req.deadline, calculus=req.calculus))
 
         seen_once: set[tuple] = set()
         for req, key in zip(reqs, order):
@@ -397,13 +412,14 @@ def serve(in_stream: TextIO, out_stream: TextIO, *,
         if store is not None:
             verdict = store.check(req.p, req.q, relation=req.relation,
                                   weak=req.weak, strategy=req.strategy,
-                                  budget=req.budget())
+                                  budget=req.budget(),
+                                  calculus=req.calculus)
             hit = verdict.stats.get("store") == "hit"
         else:
             verdict = evaluate_request(
                 req.p, req.q, relation=req.relation, weak=req.weak,
                 strategy=req.strategy, max_states=req.max_states,
-                deadline=req.deadline)
+                deadline=req.deadline, calculus=req.calculus)
             hit = False
         served += 1
         out = {"id": req.id, "truth": verdict.truth.value,

@@ -368,7 +368,7 @@ def action_from_wire(wire: tuple) -> object:
     raise CodecError(f"unknown action wire tag {wire!r}")
 
 
-def pair_key(p: Process, q: Process) -> str:
+def pair_key(p: Process, q: Process, calculus: str = "bpi") -> str:
     """The content address of the ordered canonical pair ``(p, q)``.
 
     This is the verdict store's primary-key component: any two requests
@@ -376,8 +376,17 @@ def pair_key(p: Process, q: Process) -> str:
     verdict computed for one answers the other.  The pair is *ordered* —
     the non-symmetric relations (``similar``, ``noisy``) stay correct
     without per-relation special-casing.
+
+    *calculus* is the semantic backend's identity key
+    (:meth:`repro.calculi.backend.CalculusBackend.key` — for the
+    wireless backend this bakes in the topology digest), so the same
+    pair checked under different semantics can never share a verdict
+    row.
     """
     h = hashlib.sha256()
+    ck = calculus.encode("utf-8")
+    h.update(len(ck).to_bytes(2, "big"))
+    h.update(ck)
     cp, cq = encode(canonical_state(p)), encode(canonical_state(q))
     h.update(len(cp).to_bytes(8, "big"))
     h.update(cp)

@@ -50,18 +50,21 @@ from ..obs import metrics as _metrics, tracing as _tracing
 from ..obs.state import STATE as _OBS
 from .codec import pair_key
 
-__all__ = ["SCHEMA_VERSION", "VerdictStore", "equivalence_name",
-           "request_cap"]
+__all__ = ["SCHEMA_VERSION", "VerdictStore", "calculus_key",
+           "equivalence_name", "request_cap"]
 
 #: Bumped whenever the row semantics change; rows written under any
 #: other version are invisible (treated as misses), never reinterpreted.
-SCHEMA_VERSION = 1
+#: v2: verdict identity includes the calculus backend key (rows written
+#: by v1 carry no backend and miss cleanly).
+SCHEMA_VERSION = 2
 
 _TABLE = """\
 CREATE TABLE IF NOT EXISTS verdicts (
     pair_key        TEXT    NOT NULL,
     equivalence     TEXT    NOT NULL,
     strategy        TEXT    NOT NULL,
+    calculus        TEXT    NOT NULL DEFAULT 'bpi',
     truth           TEXT    NOT NULL,
     reason          TEXT,
     budget_floor    INTEGER NOT NULL,
@@ -70,9 +73,27 @@ CREATE TABLE IF NOT EXISTS verdicts (
     schema_version  INTEGER NOT NULL,
     checksum        TEXT    NOT NULL,
     created_at      REAL    NOT NULL,
-    PRIMARY KEY (pair_key, equivalence, strategy)
+    PRIMARY KEY (pair_key, equivalence, strategy, calculus)
 )
 """
+
+
+def calculus_key(calculus: "str | None") -> str:
+    """The backend identity key a request's *calculus* spec denotes.
+
+    ``None`` means the default backend.  Resolution goes through the
+    registry so equivalent spellings (``"wireless:b-a"`` vs
+    ``"wireless:a-b"``) and topology digests canonicalise; an unknown
+    spec raises the registry's ``ValueError`` (the same failure the
+    direct check path would hit).
+    """
+    if calculus is None:
+        return "bpi"
+    key = getattr(calculus, "key", None)
+    if callable(key):
+        return key()
+    from ..calculi import registry as _registry
+    return _registry.resolve(calculus).key()
 
 
 def equivalence_name(relation: str, weak: bool) -> str:
@@ -99,11 +120,12 @@ def request_cap(budget: "Budget | Meter | None") -> int | None:
 
 
 def _row_checksum(pair_key_: str, equivalence: str, strategy: str,
-                  truth: str, reason: str | None, budget_floor: int,
-                  evidence: str | None, schema_version: int) -> str:
+                  calculus: str, truth: str, reason: str | None,
+                  budget_floor: int, evidence: str | None,
+                  schema_version: int) -> str:
     payload = json.dumps(
-        [pair_key_, equivalence, strategy, truth, reason, budget_floor,
-         evidence, schema_version],
+        [pair_key_, equivalence, strategy, calculus, truth, reason,
+         budget_floor, evidence, schema_version],
         separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -145,6 +167,16 @@ class VerdictStore:
             # A store we cannot open is a store of misses.
             self.counters["errors"] += 1
             self._conn = None
+        if self._conn is not None:
+            # A v1 file lacks the calculus column; add it so v2 queries
+            # run (its old rows still miss via the schema_version gate).
+            try:
+                self._conn.execute(
+                    "ALTER TABLE verdicts ADD COLUMN calculus TEXT "
+                    "NOT NULL DEFAULT 'bpi'")
+                self._conn.commit()
+            except sqlite3.Error:
+                pass  # column already present (the common case)
 
     # -- context management ----------------------------------------------
     def close(self) -> None:
@@ -174,22 +206,25 @@ class VerdictStore:
     # -- the reuse rule ---------------------------------------------------
     def lookup(self, p: Process, q: Process, *, relation: str = "labelled",
                weak: bool = False, strategy: str | None = None,
-               cap: "int | None | Budget | Meter" = None) -> Verdict | None:
+               cap: "int | None | Budget | Meter" = None,
+               calculus: "str | None" = None) -> Verdict | None:
         """The cached verdict serving this request, or ``None`` (miss).
 
         *cap* is the request's max-states floor (an int, ``None`` for
-        unlimited, or a Budget/Meter to derive it from).
+        unlimited, or a Budget/Meter to derive it from).  *calculus*
+        scopes the request to one semantic backend (default ``"bpi"``).
         """
         if isinstance(cap, (Budget, Meter)):
             cap = request_cap(cap)
-        key = pair_key(p, q)
+        ckey = calculus_key(calculus)
+        key = pair_key(p, q, calculus=ckey)
         equivalence = equivalence_name(relation, weak)
         strat = strategy or "default"
         with _tracing.span("store.lookup", equivalence=equivalence) as sp:
             self.counters["lookups"] += 1
             if _OBS.enabled:
                 _metrics.inc("store.lookup")
-            verdict = self._lookup_row(key, equivalence, strat, cap)
+            verdict = self._lookup_row(key, equivalence, strat, ckey, cap)
             hit = verdict is not None
             self.counters["hits" if hit else "misses"] += 1
             if _OBS.enabled:
@@ -198,15 +233,15 @@ class VerdictStore:
         return verdict
 
     def _lookup_row(self, key: str, equivalence: str, strat: str,
-                    cap: int | None) -> Verdict | None:
+                    ckey: str, cap: int | None) -> Verdict | None:
         if self._conn is None:
             return None
         try:
             row = self._conn.execute(
                 "SELECT truth, reason, budget_floor, evidence, stats, "
                 "schema_version, checksum FROM verdicts WHERE pair_key=? "
-                "AND equivalence=? AND strategy=?",
-                (key, equivalence, strat)).fetchone()
+                "AND equivalence=? AND strategy=? AND calculus=?",
+                (key, equivalence, strat, ckey)).fetchone()
         except sqlite3.Error:
             self.counters["errors"] += 1
             return None
@@ -216,12 +251,12 @@ class VerdictStore:
          schema_version, checksum) = row
         if schema_version != SCHEMA_VERSION:
             return None  # version skew: invisible, not reinterpreted
-        expect = _row_checksum(key, equivalence, strat, truth, reason,
+        expect = _row_checksum(key, equivalence, strat, ckey, truth, reason,
                                floor, evidence, schema_version)
         if checksum != expect or truth not in ("true", "false", "unknown"):
             # Bit rot / tampering: drop the row and recompute.
             self.counters["integrity_failures"] += 1
-            self._delete_row(key, equivalence, strat)
+            self._delete_row(key, equivalence, strat, ckey)
             return None
         if truth == "unknown":
             # UNKNOWN at cap B short-circuits only requests with cap <= B.
@@ -277,13 +312,15 @@ class VerdictStore:
         except (ValueError, KeyError, TypeError):
             return None
 
-    def _delete_row(self, key: str, equivalence: str, strat: str) -> None:
+    def _delete_row(self, key: str, equivalence: str, strat: str,
+                    ckey: str) -> None:
         if self._conn is None:
             return
         try:
             self._conn.execute(
                 "DELETE FROM verdicts WHERE pair_key=? AND equivalence=? "
-                "AND strategy=?", (key, equivalence, strat))
+                "AND strategy=? AND calculus=?",
+                (key, equivalence, strat, ckey))
             self._conn.commit()
         except sqlite3.Error:
             self.counters["errors"] += 1
@@ -292,7 +329,8 @@ class VerdictStore:
     def record(self, p: Process, q: Process, verdict: Verdict, *,
                relation: str = "labelled", weak: bool = False,
                strategy: str | None = None,
-               cap: "int | None | Budget | Meter" = None) -> bool:
+               cap: "int | None | Budget | Meter" = None,
+               calculus: "str | None" = None) -> bool:
         """Persist *verdict* for this request; True when a row was written.
 
         Uncacheable verdicts (deadline/cancellation trips, UNKNOWN with
@@ -305,30 +343,32 @@ class VerdictStore:
         floor, reason, evidence_json = self._floor_of(verdict, cap)
         if floor is None:
             return False
-        key = pair_key(p, q)
+        ckey = calculus_key(calculus)
+        key = pair_key(p, q, calculus=ckey)
         equivalence = equivalence_name(relation, weak)
         strat = strategy or "default"
         truth = verdict.truth.value
         stats_json = json.dumps(_jsonable(verdict.stats), sort_keys=True)
-        checksum = _row_checksum(key, equivalence, strat, truth, reason,
-                                 floor, evidence_json, SCHEMA_VERSION)
+        checksum = _row_checksum(key, equivalence, strat, ckey, truth,
+                                 reason, floor, evidence_json,
+                                 SCHEMA_VERSION)
         if self._conn is None:
             self.counters["errors"] += 1
             return False
         try:
             existing = self._conn.execute(
                 "SELECT truth, budget_floor FROM verdicts WHERE pair_key=? "
-                "AND equivalence=? AND strategy=?",
-                (key, equivalence, strat)).fetchone()
+                "AND equivalence=? AND strategy=? AND calculus=?",
+                (key, equivalence, strat, ckey)).fetchone()
             if existing is not None and not _improves(
                     existing[0], int(existing[1]), truth, floor):
                 return False
             self._conn.execute(
                 "INSERT OR REPLACE INTO verdicts (pair_key, equivalence, "
-                "strategy, truth, reason, budget_floor, evidence, stats, "
-                "schema_version, checksum, created_at) "
-                "VALUES (?,?,?,?,?,?,?,?,?,?,?)",
-                (key, equivalence, strat, truth, reason, floor,
+                "strategy, calculus, truth, reason, budget_floor, evidence, "
+                "stats, schema_version, checksum, created_at) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                (key, equivalence, strat, ckey, truth, reason, floor,
                  evidence_json, stats_json, SCHEMA_VERSION, checksum,
                  time.time()))
             self._conn.commit()
@@ -374,23 +414,25 @@ class VerdictStore:
     # -- the thin-client core ---------------------------------------------
     def check(self, p: Process, q: Process, *, relation: str = "labelled",
               weak: bool = False, strategy: str | None = None,
-              budget: "Budget | Meter | None" = None) -> Verdict:
+              budget: "Budget | Meter | None" = None,
+              calculus: "str | None" = None) -> Verdict:
         """Store-mediated :func:`repro.api.check`: lookup, else compute
         and record.  The single core the CLI ``eq --store``, ``repro
         batch`` and ``repro serve`` are thin clients of."""
         from ..api import check as _direct_check
         cap = request_cap(budget)
         cached = self.lookup(p, q, relation=relation, weak=weak,
-                             strategy=strategy, cap=cap)
+                             strategy=strategy, cap=cap, calculus=calculus)
         if cached is not None:
             return cached
         try:
             verdict = _direct_check(p, q, relation=relation, weak=weak,
-                                    budget=budget, strategy=strategy)
+                                    budget=budget, strategy=strategy,
+                                    calculus=calculus)
         except BudgetExceeded as exc:  # pragma: no cover - check() never
             return Verdict.from_exceeded(exc)  # leaks trips; belt+braces
         self.record(p, q, verdict, relation=relation, weak=weak,
-                    strategy=strategy, cap=cap)
+                    strategy=strategy, cap=cap, calculus=calculus)
         return verdict
 
     def stats(self) -> dict[str, Any]:

@@ -265,3 +265,61 @@ def test_rule_c_only_applies_to_registered_files():
 def test_live_batch_worker_is_verdict_level():
     violations = cc.check_file(REPO / "src" / "repro" / "store" / "batch.py")
     assert violations == [], "\n".join(map(str, violations))
+
+
+# -- Rule E: only core/ and backends import the semantic kernel -------------
+
+def rule_e_codes(src: str, path: str = "src/repro/equiv/foo.py") -> list[str]:
+    return [v.rule for v in cc.check_source(src, path)]
+
+
+def test_direct_semantics_import_is_flagged():
+    assert rule_e_codes(
+        "from ..core.semantics import step_transitions") == \
+        ["direct-semantics"]
+
+
+def test_direct_discard_import_is_flagged():
+    assert rule_e_codes(
+        "from repro.core.discard import discards") == ["direct-semantics"]
+
+
+def test_absolute_module_import_is_flagged():
+    assert rule_e_codes("import repro.core.semantics") == \
+        ["direct-semantics"]
+
+
+def test_reexport_loophole_is_flagged():
+    # pulling a kernel name through core/__init__ is the same bypass
+    assert rule_e_codes(
+        "from ..core import step_transitions") == ["direct-semantics"]
+    assert rule_e_codes(
+        "from repro.core import listening_channels") == ["direct-semantics"]
+
+
+def test_non_kernel_core_imports_are_clean():
+    assert rule_e_codes("from ..core.reduction import can_reach_barb") == []
+    assert rule_e_codes("from ..core.syntax import Process") == []
+    assert rule_e_codes("from ..core import parse, pretty") == []
+
+
+def test_core_package_is_exempt():
+    src = "from .semantics import step_transitions\n" \
+          "from .discard import discards\n"
+    assert rule_e_codes(src, "src/repro/core/reduction.py") == []
+    assert rule_e_codes("from .discard import discards",
+                        "src/repro/core/__init__.py") == []
+
+
+def test_backend_implementations_are_exempt():
+    src = "from ..core.semantics import step_transitions"
+    for name in ("backend.py", "lossy.py", "wireless.py"):
+        assert rule_e_codes(src, f"src/repro/calculi/{name}") == []
+
+
+def test_registry_is_not_exempt():
+    # only the backend *implementations* wrap the kernel; the registry
+    # and any future calculi module go through CalculusBackend
+    src = "from ..core.semantics import step_transitions"
+    assert rule_e_codes(src, "src/repro/calculi/registry.py") == \
+        ["direct-semantics"]

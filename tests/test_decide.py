@@ -24,7 +24,7 @@ from repro.core.parser import parse
 from repro.core.syntax import NIL, Input, Output, Par, Process, Sum, Tau
 from repro.equiv.congruence import congruent
 from repro.equiv.labelled import strong_bisimilar
-from repro.equiv.noisy import noisy_similar
+from repro.equiv.noisy import strict_bisimilar
 from tests.strategies import finite_processes
 
 
@@ -116,7 +116,7 @@ class TestExhaustiveAgreement:
     def test_noisy_agrees_on_tiny_pairs(self):
         pool = tiny_processes()[:12]
         for p, q in itertools.combinations(pool, 2):
-            assert noisy_finite(p, q) == noisy_similar(p, q), (p, q)
+            assert noisy_finite(p, q) == strict_bisimilar(p, q), (p, q)
 
 
 @given(finite_processes(arity=0, free_pool=("a", "b"), max_leaves=4),
@@ -142,4 +142,4 @@ def test_hnf_rebuild_congruent(p):
     part = Partition.discrete(free_names(p))
     h = rebuild_sum(head_summands(p, part))
     assert strong_bisimilar(p, h)
-    assert noisy_similar(p, h)
+    assert strict_bisimilar(p, h)

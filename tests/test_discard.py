@@ -4,14 +4,22 @@ Includes the central *input/discard dichotomy*: a well-sorted process has
 an input transition on channel a iff it does not discard a.
 """
 
+import pytest
 from hypothesis import given
 
+from repro.calculi import registry
+from repro.calculi.backend import dichotomy_channels
 from repro.core.discard import discards, listening_channels
 from repro.core.freenames import free_names
 from repro.core.names import NameUniverse
 from repro.core.parser import parse
 from repro.core.semantics import input_capabilities, input_continuations
 from tests.strategies import processes0, processes1
+
+#: Every registered semantics must preserve the dichotomy; the wireless
+#: topology deliberately names cells from the generators' free pool so
+#: adjacency (and binder/cell shadowing) is actually exercised.
+BACKEND_SPECS = ("bpi", "lossy", "wireless:a-b,b-c")
 
 
 class TestTable2Rules:
@@ -86,6 +94,29 @@ def test_dichotomy_monadic(p):
         for v in u.all_names:
             has_input = bool(input_continuations(p, a, (v,)))
             assert has_input == (not discards(p, a))
+
+
+@pytest.mark.parametrize("spec", BACKEND_SPECS)
+@given(p=processes0)
+def test_dichotomy_nullary_per_backend(spec, p):
+    """The dichotomy is a backend *protocol* obligation, not a bpi fact:
+    under every registered semantics, p has an a-input iff it does not
+    discard a (arity-0 fragment)."""
+    backend = registry.resolve(spec)
+    for a in sorted(dichotomy_channels(p, {"fresh_chan"})):
+        has_input = bool(backend.input_continuations(p, a, ()))
+        assert has_input == (not backend.discards(p, a))
+
+
+@pytest.mark.parametrize("spec", BACKEND_SPECS)
+@given(p=processes1)
+def test_dichotomy_monadic_per_backend(spec, p):
+    backend = registry.resolve(spec)
+    u = NameUniverse(free_names(p), 1)
+    for a in sorted(dichotomy_channels(p, {"fresh_chan"})):
+        for v in u.all_names:
+            has_input = bool(backend.input_continuations(p, a, (v,)))
+            assert has_input == (not backend.discards(p, a))
 
 
 @given(processes1)

@@ -14,7 +14,7 @@ from repro.equiv.congruence import (
     set_partitions,
 )
 from repro.equiv.labelled import strong_bisimilar
-from repro.equiv.noisy import noisy_similar
+from repro.equiv.noisy import strict_bisimilar
 from tests.strategies import processes0
 
 
@@ -36,13 +36,13 @@ class TestRemark4:
         # a?.0 ~ b?.0 but NOT a?.0 ~+ b?.0 (input must match an input)
         a, b = parse("a?"), parse("b?")
         assert strong_bisimilar(a, b)
-        assert not noisy_similar(a, b)
+        assert not strict_bisimilar(a, b)
 
     def test_congruence_strictly_finer_than_noisy(self):
         # the Remark 3 substitution example: related by ~+ but not by ~c
         p = parse("x!.y?.c! + y?.(x! | c!)")
         q = parse("x! | y?.c!")
-        assert noisy_similar(p, q)
+        assert strict_bisimilar(p, q)
         assert not congruent(p, q)
 
     def test_congruence_witness_substitution(self):
@@ -68,27 +68,27 @@ class TestNoisyPreservation:
 
     def test_pairs_noisy(self):
         for lhs, rhs in self.PAIRS:
-            assert noisy_similar(parse(lhs), parse(rhs)), (lhs, rhs)
+            assert strict_bisimilar(parse(lhs), parse(rhs)), (lhs, rhs)
 
     def test_preserved_by_choice(self):
         for lhs, rhs in self.PAIRS:
             p, q = parse(lhs), parse(rhs)
             for r_text in ["d!", "a(y).d<y>" if "(" in lhs else "a!.d!"]:
                 r = parse(r_text)
-                assert noisy_similar(p + r, q + r), (lhs, rhs, r_text)
+                assert strict_bisimilar(p + r, q + r), (lhs, rhs, r_text)
 
     def test_preserved_by_restriction_and_parallel(self):
         for lhs, rhs in self.PAIRS:
             p, q = parse(lhs), parse(rhs)
-            assert noisy_similar(nu("b", p), nu("b", q)), (lhs, rhs)
+            assert strict_bisimilar(nu("b", p), nu("b", q)), (lhs, rhs)
             r = parse("d!.e?")
-            assert noisy_similar(p | r, q | r), (lhs, rhs)
+            assert strict_bisimilar(p | r, q | r), (lhs, rhs)
 
     def test_bisim_not_preserved_by_choice_contrast(self):
         # contrast with ~: a? ~ b? yet a?+c! !~ b?+c!
         assert strong_bisimilar(parse("a?"), parse("b?"))
         assert not strong_bisimilar(parse("a? + c!"), parse("b? + c!"))
-        assert not noisy_similar(parse("a?"), parse("b?"))
+        assert not strict_bisimilar(parse("a?"), parse("b?"))
 
 
 class TestCongruenceProperties:
@@ -136,5 +136,5 @@ def test_noisy_between_congruence_and_bisim(p):
     """~c <= ~+ <= ~ on reflexive instances and simple derived pairs."""
     q = p | parse("0")
     assert congruent(p, q)
-    assert noisy_similar(p, q)
+    assert strict_bisimilar(p, q)
     assert strong_bisimilar(p, q)

@@ -235,14 +235,14 @@ class TestDegradation:
 class TestShardTrips:
     def test_expand_shard_deadline_slice(self):
         from repro.store.codec import encode
-        payload = ("step", True, 0.0, [encode(parse("a!"))])
+        payload = ("step", True, 0.0, "bpi", [encode(parse("a!"))])
         result = expand_shard(payload)
         assert result["tripped"] == "deadline"
         assert result["expanded"] == 0 and result["rows"] == []
 
     def test_expand_shard_no_deadline_expands_all(self):
         from repro.store.codec import encode
-        payload = ("step", True, None,
+        payload = ("step", True, None, "bpi",
                    [encode(parse("a!")), encode(parse("tau.b!"))])
         result = expand_shard(payload)
         assert result["tripped"] is None and result["expanded"] == 2

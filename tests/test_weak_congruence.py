@@ -11,24 +11,24 @@ from hypothesis import given, settings
 from repro.core.parser import parse
 from repro.equiv.congruence import congruent
 from repro.equiv.labelled import weak_bisimilar
-from repro.equiv.noisy import noisy_similar
+from repro.equiv.noisy import strict_bisimilar
 from tests.strategies import processes0
 
 
 class TestWeakNoisy:
     def test_tau_absorption(self):
         # second tau-law shape: p + tau.p ~~+ tau.p ...
-        assert noisy_similar(parse("a! + tau.a!"), parse("tau.a!"), weak=True)
+        assert strict_bisimilar(parse("a! + tau.a!"), parse("tau.a!"), weak=True)
         # ... but not ~~+ p: the tau needs a tau answer (root condition)
-        assert not noisy_similar(parse("tau.a! + a!"), parse("a!"), weak=True)
+        assert not strict_bisimilar(parse("tau.a! + a!"), parse("a!"), weak=True)
 
     def test_outputs_weakly_matched(self):
-        assert noisy_similar(parse("a<b>.tau.c!"), parse("a<b>.c!"), weak=True)
+        assert strict_bisimilar(parse("a<b>.tau.c!"), parse("a<b>.c!"), weak=True)
 
     def test_inputs_strictly_matched_weakly(self):
         # genuine inputs still need genuine (weak) inputs in ~~+
-        assert not noisy_similar(parse("a?"), parse("b?"), weak=True)
-        assert noisy_similar(parse("tau.a(x).x!"), parse("tau.a(x).tau.x!"),
+        assert not strict_bisimilar(parse("a?"), parse("b?"), weak=True)
+        assert strict_bisimilar(parse("tau.a(x).x!"), parse("tau.a(x).tau.x!"),
                              weak=True)
 
     def test_weak_remark4_analogue(self):
@@ -37,14 +37,14 @@ class TestWeakNoisy:
         p = parse("tau.a!")
         q = parse("h(x).tau.a! + tau.a!")
         assert weak_bisimilar(p, q)
-        assert not noisy_similar(p, q, weak=True)
+        assert not strict_bisimilar(p, q, weak=True)
 
     def test_clause4_violation(self):
         # q always listens on h with an observable reaction: p's discard
         # cannot be matched
         p = parse("a!")
         q = parse("a! + h?.c!")
-        assert not noisy_similar(p, q, weak=True)
+        assert not strict_bisimilar(p, q, weak=True)
 
 
 class TestWeakCongruence:
@@ -92,8 +92,8 @@ def test_weak_congruence_reflexive_and_tau_padded(p):
 @settings(max_examples=10, deadline=None)
 def test_strong_noisy_implies_weak_noisy(p):
     q = p | parse("0")
-    assert noisy_similar(p, q)            # strong
-    assert noisy_similar(p, q, weak=True)  # hence weak
+    assert strict_bisimilar(p, q)            # strong
+    assert strict_bisimilar(p, q, weak=True)  # hence weak
 
 
 @given(processes0)

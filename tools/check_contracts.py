@@ -45,6 +45,15 @@ Rule D (``wire-worker``)
     raising across the futures boundary would surface as a broken
     future, catching would invite silent truncation.
 
+Rule E (``direct-semantics``)
+    The Table 2/3 kernel (``core.semantics``, ``core.discard``) is an
+    implementation detail of the default ``"bpi"`` backend.  Only
+    ``core/`` itself and the backend implementations in ``calculi/``
+    may import it — directly or through the names ``core/__init__``
+    re-exports.  Everything else resolves a ``CalculusBackend`` through
+    ``repro.calculi.registry``, so the lossy and wireless semantics
+    stay pluggable instead of being silently bypassed.
+
 Run ``python tools/check_contracts.py`` (CI does); exit status 1 when a
 violation is found.  ``tests/test_contracts.py`` feeds the checker both
 the live tree and synthetic offenders.
@@ -99,6 +108,21 @@ VERDICT_WORKERS: dict[str, frozenset[str]] = {
 WIRE_WORKERS: dict[str, frozenset[str]] = {
     "parallel.py": frozenset({"expand_shard"}),
 }
+
+#: Semantic-kernel modules (Rule E): the Table 2/3 implementation.
+SEMANTIC_MODULES = frozenset({"semantics", "discard"})
+
+#: Names ``core/__init__.py`` re-exports from the semantic kernel —
+#: pulling them from ``repro.core`` is the same Rule E bypass.
+SEMANTIC_NAMES = frozenset({
+    "discards", "listening_channels",
+    "check_sorts", "input_capabilities", "input_continuations",
+    "step_transitions", "transitions",
+})
+
+#: File names under ``calculi/`` allowed to import the kernel directly:
+#: the backend implementations that *wrap* it.
+SEMANTIC_IMPORTERS = frozenset({"backend.py", "lossy.py", "wireless.py"})
 
 
 @dataclass(frozen=True)
@@ -258,7 +282,53 @@ def check_source(source: str, path: str = "<string>") -> list[Violation]:
             _check_verdict_fn(node, path, violations)
     _check_workers(tree, path, violations)
     _check_wire_workers(tree, path, violations)
+    _check_semantic_imports(tree, path, violations)
     return violations
+
+
+def _semantic_module(dotted: str) -> bool:
+    """Is *dotted* (an import path) the semantic kernel?  Matches any
+    ``...core.semantics`` / ``...core.discard`` segment pair, so both
+    absolute (``repro.core.discard``) and relative (``core.semantics``
+    after the leading dots are stripped by the parser) spellings hit."""
+    parts = dotted.split(".")
+    return any(a == "core" and b in SEMANTIC_MODULES
+               for a, b in zip(parts, parts[1:]))
+
+
+def _rule_e_exempt(path: str) -> bool:
+    p = Path(path)
+    if "core" in p.parts[:-1]:
+        return True  # the kernel's own package
+    return p.parent.name == "calculi" and p.name in SEMANTIC_IMPORTERS
+
+
+def _check_semantic_imports(tree: ast.Module, path: str,
+                            violations: list[Violation]) -> None:
+    """Rule E: only core/ and the backends touch the semantic kernel."""
+    if _rule_e_exempt(path):
+        return
+
+    def flag(node: ast.AST, what: str) -> None:
+        violations.append(Violation(
+            path, node.lineno, "direct-semantics",
+            f"imports the semantic kernel ({what}) directly; resolve a "
+            f"backend through `repro.calculi.registry` instead so "
+            f"non-default calculi are not silently bypassed"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _semantic_module(alias.name):
+                    flag(node, f"`import {alias.name}`")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if _semantic_module(module):
+                flag(node, f"`from {module} import ...`")
+            elif module.split(".")[-1] == "core":
+                for alias in node.names:
+                    if alias.name in SEMANTIC_MODULES | SEMANTIC_NAMES:
+                        flag(node, f"`from {module} import {alias.name}`")
 
 
 def _check_workers(tree: ast.Module, path: str,
