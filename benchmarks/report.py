@@ -55,6 +55,13 @@ broadcast), and the backend-generic rows ``B1`` / ``B2`` (dichotomy,
 UNKNOWN-on-trip) run under whichever backend ``--calculus SPEC`` selects
 — CI smokes the ledger a second time under ``--calculus lossy``.  The
 lint block records the backend it linted the corpus with.
+
+Schema 9 adds a ``"flow"`` block (see ``bench_flow.py``): the static
+pre-solver's hit rate on barb queries over the lint corpus (the reach
+queries answered with zero states explored), and the A/B row comparing
+``reach`` with and without the pre-solver on a flow-refutable
+``broadcast_star`` variant — the abstraction answers in O(term) what
+exhaustive search pays 2^n states for.
 """
 
 from __future__ import annotations
@@ -391,15 +398,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         from repro.core import cache_stats
 
+        from benchmarks.bench_flow import flow_block
         from benchmarks.bench_onthefly import ab_block
         from benchmarks.bench_parallel import parallel_block
         from benchmarks.bench_store import store_block
         payload = {
-            "schema": 8,
+            "schema": 9,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "total_seconds": time.time() - wall0,
             "rows": rows,
             "lint": lint_block(calculus=args.calculus),
+            "flow": flow_block(quick=args.quick),
             "onthefly": ab_block(quick=args.quick),
             "store": store_block(quick=args.quick),
             "parallel": parallel_block(quick=args.quick,

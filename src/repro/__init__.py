@@ -18,6 +18,7 @@ Packages
 ``repro.obs``      tracing spans, metrics and progress hooks (off by default)
 ``repro.engine``   budgets, meters and three-valued verdicts
 ``repro.lint``     static analysis (BP diagnostics) over process terms
+``repro.flow``     channel-capability flow analysis + static pre-solver
 ``repro.store``    persistent verdict cache + batch analysis service
 ``repro.api``      the stable high-level facade (re-exported here)
 
@@ -48,7 +49,8 @@ _sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
 # NB: `repro.lint` is the static-analysis *package*; the facade verb is
 # `repro.api.lint` (re-exporting the verb here would shadow the package).
 from . import (
-    apps, axioms, calculi, core, engine, equiv, lint, lts, obs, runtime, store,
+    apps, axioms, calculi, core, engine, equiv, flow, lint, lts, obs,
+    runtime, store,
 )
 from .api import Exploration, check, decide_axioms, explore, parse, reach
 from .engine import (
@@ -66,8 +68,8 @@ __version__ = "1.2.0"
 
 __all__ = [
     # subpackages
-    "apps", "axioms", "calculi", "core", "engine", "equiv", "lint", "lts",
-    "obs", "runtime", "store",
+    "apps", "axioms", "calculi", "core", "engine", "equiv", "flow", "lint",
+    "lts", "obs", "runtime", "store",
     # facade verbs
     "parse", "check", "explore", "decide_axioms", "reach", "Exploration",
     # engine vocabulary

@@ -19,6 +19,13 @@ canon "<process>"
 lint "<process>" [--select CODES] [--ignore CODES] [--format text|json]
     Static analysis (BP diagnostics); `--corpus` lints every apps/examples
     term instead.  Exit 0 clean, 1 findings, 2 parse failure.
+flow "<process>" [--closed] [--barb CHAN] [--format text|json] [--store P]
+    The channel-capability flow analysis: per-channel may-broadcast /
+    may-listen / may-extrude / may-carry sets.  With --barb CHAN the
+    static pre-solver answers the reachability question: exit 0 when a
+    barb on CHAN may be reachable, 1 when it is proven inert (no
+    exploration), 2 on a parse failure.  `--corpus` summarises every
+    apps/examples term; --store caches summaries in the verdict store.
 batch FILE [--store PATH] [--workers N] [--format text|json]
     Answer many check requests (JSON-lines; `-` reads stdin), deduped
     against each other and the store, misses fanned out over a process
@@ -143,9 +150,13 @@ def _cmd_barb(args: argparse.Namespace) -> int:
     budget = _budget_from(args, default_states=50_000)
     verdict = can_reach_barb(p, args.channel, budget=budget,
                              collapse_duplicates=True,
-                             calculus=args.calculus)
-    scope = ("" if budget.max_states is None
-             else f" (within {budget.max_states} states)")
+                             calculus=args.calculus,
+                             presolve=not args.no_presolve)
+    if verdict.stats.get("presolve") == "flow":
+        scope = " (flow pre-solver, 0 states explored)"
+    else:
+        scope = ("" if budget.max_states is None
+                 else f" (within {budget.max_states} states)")
     if verdict.is_unknown:
         print(f"{args.channel}: UNKNOWN ({verdict.reason}){scope}")
         return EXIT_UNKNOWN
@@ -196,6 +207,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.format_text())
     return 0 if report.ok else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    import json
+
+    from .flow.analysis import describe, flow_analysis
+    from .flow.presolve import flow_refutes_barb
+
+    mode = "closed" if args.closed else "open"
+    if args.corpus:
+        if args.process is not None:
+            print("flow: --corpus takes no process argument",
+                  file=sys.stderr)
+            return EXIT_UNKNOWN
+        from .lint.corpus import corpus
+        rows = [(name, flow_analysis(term, calculus=args.calculus,
+                                     mode=mode))
+                for name, term in corpus()]
+        if args.format == "json":
+            print(json.dumps({name: a.to_json() for name, a in rows},
+                             indent=2))
+        else:
+            for name, a in rows:
+                chans = a.channels()
+                speak = sum(1 for c in chans.values() if c.may_broadcast)
+                flag = " (incomplete)" if a.incomplete else ""
+                print(f"{name}: {len(chans)} free channels, "
+                      f"{speak} may-broadcast{flag}")
+        return 0
+    if args.process is None:
+        print("flow: need a process term (or --corpus)", file=sys.stderr)
+        return EXIT_UNKNOWN
+    p = parse(args.process)
+    if args.barb is not None:
+        evidence = flow_refutes_barb(p, args.barb, calculus=args.calculus)
+        if args.format == "json":
+            payload = {"channel": args.barb,
+                       "refuted": evidence is not None}
+            if evidence is not None:
+                payload["evidence"] = evidence.to_json()
+            print(json.dumps(payload, indent=2))
+        elif evidence is None:
+            print(f"{args.barb}: may be reachable "
+                  f"(the abstraction cannot refute it)")
+        else:
+            print(f"{args.barb}: proven inert — no reachable state may "
+                  f"broadcast on it (0 states explored; may-broadcast = "
+                  f"{{{', '.join(evidence.may_broadcast)}}})")
+        return 1 if evidence is not None else 0
+    analysis = flow_analysis(p, calculus=args.calculus, mode=mode)
+    if args.store:
+        from .store.db import VerdictStore
+        with VerdictStore(args.store) as store:
+            summary, source = store.flow_summary(
+                p, calculus=args.calculus, mode=mode)
+        print(f"[store] flow summary {source} "
+              f"({summary['digest'][:12]}...)", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(analysis.to_json(), indent=2))
+    else:
+        for line in describe(analysis):
+            print(line)
+    return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -400,6 +474,8 @@ def main(argv: list[str] | None = None) -> int:
                        parents=[obs_parent])
     s.add_argument("process")
     s.add_argument("channel")
+    s.add_argument("--no-presolve", action="store_true",
+                   help="skip the flow pre-solver; always explore")
     _add_calculus_arg(s)
     s.set_defaults(func=_cmd_barb)
 
@@ -462,6 +538,32 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--format", default="text", choices=["text", "json"])
     _add_calculus_arg(s)
     s.set_defaults(func=_cmd_lint)
+
+    s = sub.add_parser(
+        "flow", help="channel-capability flow analysis (exit 0/1/2)",
+        description="Per-channel may-broadcast / may-listen / may-extrude "
+                    "/ may-carry capability sets from the 0-CFA-style "
+                    "abstraction; with --barb CHAN, the static pre-solver "
+                    "verdict on that channel.",
+        epilog="exit status: 0 = analysis printed (or the barb may be "
+               "reachable), 1 = --barb channel proven inert, "
+               f"{EXIT_UNKNOWN} = parse failure",
+        parents=[obs_parent])
+    s.add_argument("process", nargs="?",
+                   help="term to analyse (omit with --corpus)")
+    s.add_argument("--corpus", action="store_true",
+                   help="summarise every apps/examples corpus term instead")
+    s.add_argument("--closed", action="store_true",
+                   help="closed-system reading (no environment); the "
+                        "pre-solver's mode")
+    s.add_argument("--barb", metavar="CHAN", default=None,
+                   help="ask the pre-solver about a barb on CHAN "
+                        "(exit 1 = proven inert)")
+    s.add_argument("--store", metavar="PATH", default=None,
+                   help="cache the flow summary in the verdict store")
+    s.add_argument("--format", default="text", choices=["text", "json"])
+    _add_calculus_arg(s)
+    s.set_defaults(func=_cmd_flow)
 
     args = parser.parse_args(argv)
 

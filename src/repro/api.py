@@ -219,12 +219,18 @@ def decide_axioms(p: "Process | str", q: "Process | str", *,
 def reach(p: "Process | str", channel: str, *,
           budget: "Budget | Meter | None" = None,
           collapse_duplicates: bool = True,
-          calculus: "str | None" = None) -> Verdict:
-    """Can *p* reach a state offering a broadcast on *channel*?"""
+          calculus: "str | None" = None,
+          presolve: bool = True) -> Verdict:
+    """Can *p* reach a state offering a broadcast on *channel*?
+
+    The flow pre-solver (:mod:`repro.flow`) answers provably-inert
+    channels definitively without exploring (``stats["presolve"] ==
+    "flow"`` on the verdict); ``presolve=False`` forces exploration.
+    """
     from .core.reduction import can_reach_barb
     return can_reach_barb(_as_process(p), channel, budget=budget,
                           collapse_duplicates=collapse_duplicates,
-                          calculus=calculus)
+                          calculus=calculus, presolve=presolve)
 
 
 def lint(p: "Process | str", *,

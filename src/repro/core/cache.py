@@ -59,6 +59,12 @@ def clear_caches() -> None:
     # Backend memo tables key on interned nodes, so they must not outlive
     # the intern table they were built against.
     registry.clear_caches()
+    try:
+        from .. import flow
+    except ImportError:  # pragma: no cover - flow is an optional layer
+        return
+    # Flow summaries key on interned roots too.
+    flow.clear_caches()
 
 
 def cache_stats() -> dict[str, Any]:

@@ -26,6 +26,8 @@ untouched apart from the final global alpha-canonicalization.
 
 from __future__ import annotations
 
+import hashlib
+
 from .freenames import free_names
 from .names import Name, fresh_name
 from .substitution import apply_subst, canonical_alpha
@@ -62,18 +64,40 @@ def _rebuild(parts: list[Process], cls: type, unit: Process) -> Process:
     return out
 
 
+def _stable_fingerprint(p: Process) -> bytes:
+    """A PYTHONHASHSEED-independent structural fingerprint of *p*.
+
+    The builtin ``hash`` cannot orient siblings: string hashing is salted
+    per process, so two workers would disagree on the orientation of
+    ``a! + b!`` — and with it on ``canonical_state``, ``state_digest``
+    and every ``repro.store`` key.  This digest is a pure function of the
+    structure (sha256 over class names, name fields and child digests),
+    memoized per interned node, so it is O(1) amortized like the cached
+    hash it replaces.
+    """
+    got = getattr(p, "_stable", None)
+    if got is None:
+        h = hashlib.sha256(p.__class__.__name__.encode())
+        for f in p._fields:
+            v = getattr(p, f)
+            h.update(_stable_fingerprint(v) if isinstance(v, Process)
+                     else repr(v).encode())
+            h.update(b"\x00")
+        got = h.digest()
+        p._stable = got
+    return got
+
+
 def _sort_key(p: Process) -> tuple:
     """A deterministic ordering key for sibling components.
 
     Sorting must be stable under alpha-variance, so the key is taken on
-    the alpha-canonical form.  The cached structural hash gives an O(1)
-    total order; a hash collision between structurally different siblings
-    would merely produce a run-dependent (still behaviour-preserving)
-    canonical orientation, so the cheap key is worth it — repr-based keys
-    dominated exploration profiles.
+    the alpha-canonical form; the fingerprint makes the resulting
+    orientation identical across processes (a property the persistent
+    verdict store relies on).
     """
     c = canonical_alpha(p)
-    return (c.__class__.__name__, hash(c))
+    return (c.__class__.__name__, _stable_fingerprint(c))
 
 
 def canonical_state(p: Process) -> Process:

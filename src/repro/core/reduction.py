@@ -199,7 +199,8 @@ def can_reach_barb(p: Process, chan: Name, *,
                    budget: Budget | Meter | None = None,
                    collapse_duplicates: bool = False,
                    max_states: int | None = None,
-                   calculus=None) -> Verdict:
+                   calculus=None,
+                   presolve: bool = True) -> Verdict:
     """Reachability query: can *p* autonomously reach a state barbing *chan*?
 
     The workhorse behind the paper's examples — e.g. "does the cycle
@@ -213,6 +214,14 @@ def can_reach_barb(p: Process, chan: Name, *,
     budget tripped first (the states seen so far ride along as
     ``verdict.evidence``).
 
+    Unless ``presolve=False``, the flow abstraction
+    (:mod:`repro.flow`) is consulted first: when the channel is provably
+    inert — no reachable state may broadcast on it — the query returns a
+    definite FALSE with a :class:`~repro.flow.FlowEvidence` witness and
+    zero states explored (``stats["presolve"] == "flow"``).  The
+    abstraction over-approximates, so only that polarity is ever taken
+    from it; a reachable barb is always demonstrated by exploration.
+
     With ``collapse_duplicates`` states are further quotiented by
     idempotence of identical parallel components — a sound
     *under-approximation* (broadcast composition is monotone in parallel
@@ -220,6 +229,15 @@ def can_reach_barb(p: Process, chan: Name, *,
     it turns the paper's examples' unbounded emitter pile-ups into small
     finite state spaces.
     """
+    if presolve:
+        # Lazy import: flow imports core at module level, so core must
+        # only reach back at call time.
+        from ..flow.presolve import flow_refutes_barb
+        flow_evidence = flow_refutes_barb(p, chan, calculus=calculus)
+        if flow_evidence is not None:
+            return Verdict.of(False,
+                              stats={"states": 0, "presolve": "flow"},
+                              evidence=flow_evidence)
     from .canonical import canonical_state, canonical_state_collapsed
     canon = canonical_state_collapsed if collapse_duplicates else canonical_state
     budget = legacy_cap("can_reach_barb", budget, max_states=max_states)

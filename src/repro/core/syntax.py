@@ -49,6 +49,7 @@ _NODE_CACHE_SLOTS = (
     "_listen",   # discard.listening_channels
     "_nf",       # canonical._normalize(p, collapse=False)
     "_nf2",      # canonical._normalize(p, collapse=True)
+    "_stable",   # canonical._stable_fingerprint
     "_phisucc",  # equiv.reduction_graph.phi_successors (steps=True)
     "_tausucc",  # equiv.reduction_graph.phi_successors (steps=False)
 )

@@ -1,0 +1,170 @@
+"""The BP4xx semantic lint family: flow-analysis-backed diagnostics.
+
+Where the BP1xx–BP3xx passes are purely syntactic, these four consult
+the channel-capability abstraction (:mod:`repro.flow.analysis`, ``open``
+mode: the environment may interact with every channel it can name) and
+report *semantic* dead communication — listeners nobody may broadcast
+to, broadcasts nothing can hear, restrictions proven confined, match
+branches no abstract execution activates.  They register through the
+ordinary :func:`repro.lint.lint_pass` machinery, so selection, spans,
+JSON output and timings all work unchanged; ``repro.lint`` imports this
+module to trigger registration.
+
+All four bail out silently when the analysis is *incomplete* (free
+identifiers leave behaviour unconstrained) — an over-approximation of
+an unknown body proves nothing.  Two of them subtract the findings of
+their syntactic cousins (BP402 defers to BP201, BP404 to BP202) so one
+defect is reported once, by the most specific pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.syntax import Process
+from ..lint.passes import (
+    Path,
+    _DeafScan,
+    _indexed_children,
+    _scan_restricted,
+    bp201_deaf_broadcast,
+    bp202_dead_branch,
+    lint_pass,
+)
+from .analysis import FlowAnalysis, NuInfo, flow_analysis
+
+__all__ = ["bp401_orphan_listener", "bp402_undeliverable_broadcast",
+           "bp403_confined_restriction", "bp404_dead_by_flow"]
+
+
+def _open_analysis(term: Process) -> FlowAnalysis | None:
+    """The open-mode abstraction, or None when it proves nothing."""
+    analysis = flow_analysis(term, mode="open")
+    return None if analysis.incomplete else analysis
+
+
+@lint_pass("BP401", "orphan listener", "warning")
+def bp401_orphan_listener(term: Process) -> Iterator[tuple[Path, str]]:
+    """An input no possible broadcast — internal or environmental — can
+    ever deliver.
+
+    Under the input/discard dichotomy a listener that is never spoken to
+    simply discards forever; its continuation is dead code.  Only
+    *private* channels can be orphaned: the environment may broadcast on
+    any free (or extruded) channel, so those listeners always stay live
+    in the open reading.  Only *direct* listeners — the subject is
+    literally a nu-bound name — are reported: an aliased listener inside
+    a reusable recursive definition is a property of one instantiation,
+    not of the definition (the PVM pools' never-pulled kill switches are
+    the idiomatic example).
+    """
+    analysis = _open_analysis(term)
+    if analysis is None:
+        return
+    for site in analysis.orphan_listeners:
+        if not site.direct:
+            continue
+        chans = ", ".join(site.channels) if site.channels else "(nothing)"
+        yield site.path, (
+            f"orphan listener: input on {site.subject!r} (may denote: "
+            f"{chans}) can never be delivered — no reachable broadcast, "
+            f"internal or environmental, speaks on any channel it may "
+            f"denote, so its continuation is dead")
+
+
+@lint_pass("BP402", "undeliverable broadcast", "warning")
+def bp402_undeliverable_broadcast(
+        term: Process) -> Iterator[tuple[Path, str]]:
+    """A broadcast no listener — internal or environmental — may hear.
+
+    The flow-analysis generalisation of BP201's deaf broadcast: it also
+    catches sends whose subject is a *received* private channel, which
+    the syntactic scan cannot track.  Sites BP201 already reports are
+    skipped, so each silent send is flagged exactly once.
+    """
+    analysis = _open_analysis(term)
+    if analysis is None:
+        return
+    covered = {path for path, _ in bp201_deaf_broadcast(term)}
+    for site in analysis.undeliverable_sends:
+        if site.path in covered:
+            continue
+        chans = ", ".join(site.channels) if site.channels else "(nothing)"
+        yield site.path, (
+            f"undeliverable broadcast: output on {site.subject!r} (may "
+            f"denote: {chans}) has no possible listener; the noisy "
+            f"semantics lets it fire, forever unobserved")
+
+
+@lint_pass("BP403", "inert restricted token", "info")
+def bp403_inert_token(term: Process) -> Iterator[tuple[Path, str]]:
+    """A restricted name that provably carries no information.
+
+    BP201's syntactic scan treats a name that escapes (payload, match
+    operand, recursion argument) as potentially observable; the flow
+    analysis can refute that: when the may-extrude set proves the name
+    never reaches the environment, no active site ever uses it as a
+    channel, and no match on it may ever succeed, the token is inert —
+    it is passed around and compared, but nothing can ever depend on it.
+    Matches the abstraction already reports as dead (BP202/BP404) are
+    not double-counted: a token whose *every* mention is one of those
+    branches stays with the branch diagnostics.
+    """
+    analysis = _open_analysis(term)
+    if analysis is None:
+        return
+    covered = {path for path, _ in bp202_dead_branch(term)}
+    covered |= {b.path for b in analysis.dead_then}
+
+    def scan(q: Process, name: str, path: Path) -> _DeafScan:
+        acc = _DeafScan()
+        _scan_restricted(q, name, path, acc)
+        return acc
+
+    from ..core.syntax import Restrict
+
+    def walk(q: Process, path: Path,
+             infos: dict[Path, NuInfo]) -> Iterator[tuple[Path, str]]:
+        if isinstance(q, Restrict):
+            info = infos.get(path)
+            if info is not None:
+                acc = scan(q.body, q.name, path + (0,))
+                all_dead_matches = bool(info.match_paths) and all(
+                    mp + (0,) in covered for mp in info.match_paths)
+                if (acc.escapes and not info.extruded
+                        and not info.used_as_channel
+                        and not info.matched_live
+                        and not all_dead_matches):
+                    yield path, (
+                        f"inert restricted token: {q.name!r} is never "
+                        f"extruded, never used as a channel, and no "
+                        f"match on it can ever succeed — the name "
+                        f"carries no information")
+        for i, c in _indexed_children(q):
+            yield from walk(c, path + (i,), infos)
+
+    infos = {info.path: info for info in analysis.restrictions}
+    yield from walk(term, (), infos)
+
+
+@lint_pass("BP404", "flow-dead match branch", "warning")
+def bp404_dead_by_flow(term: Process) -> Iterator[tuple[Path, str]]:
+    """A then-branch no abstract value flow can activate.
+
+    BP202 refutes matches between distinct *restricted* names; the flow
+    analysis extends the refutation to any match whose operands' may-
+    value sets are disjoint — distinct free names, or a received value
+    that provably never equals the compared name.  Branches BP202
+    already reports are skipped.
+    """
+    analysis = _open_analysis(term)
+    if analysis is None:
+        return
+    covered = {path for path, _ in bp202_dead_branch(term)}
+    for branch in analysis.dead_then:
+        if branch.path in covered:
+            continue
+        yield branch.path, (
+            f"flow-dead branch: no value that may flow into "
+            f"[{branch.left}={branch.right}] can make the match succeed, "
+            f"so the then-branch never runs")

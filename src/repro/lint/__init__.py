@@ -10,8 +10,9 @@ a diagnostics layer:
 
 * :class:`~repro.lint.diagnostics.Diagnostic` — code, severity, message
   and location (occurrence path + source span);
-* six built-in passes, ``BP101`` … ``BP302``
-  (:mod:`repro.lint.passes` has the full catalogue);
+* the built-in passes, ``BP101`` … ``BP404``
+  (:mod:`repro.lint.passes` has the syntactic catalogue,
+  :mod:`repro.flow.lints` the flow-analysis-backed BP4xx family);
 * :func:`~repro.lint.engine.run_lint` — the driver, returning a
   :class:`~repro.lint.diagnostics.LintReport`;
 * :func:`~repro.lint.corpus.corpus` — every apps/examples term, linted
@@ -36,6 +37,10 @@ from .corpus import corpus, corpus_names
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine import run_lint, selected_passes
 from .passes import PASS_REGISTRY, LintPass, lint_pass
+
+# Registering the flow-backed BP4xx passes needs the decorator above to
+# be fully defined, hence the import-at-the-end.
+from ..flow import lints as _flow_lints  # noqa: E402,F401
 
 __all__ = [
     "Diagnostic", "LintReport", "Severity",

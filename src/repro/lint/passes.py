@@ -217,19 +217,48 @@ def bp201_deaf_broadcast(term: Process) -> Iterator[tuple[Path, str]]:
     the term is *legal* — but the broadcast is unobservable forever when
     the restricted subject never escapes its scope and no input on it
     exists in scope.  Almost always a modelling bug.
+
+    The syntactic scan treats any escape (payload, match operand,
+    recursion argument) as "a listener could appear dynamically" and
+    stays quiet.  The flow analysis (:mod:`repro.flow`) cross-checks
+    that heuristic: when the may-extrude set proves the name never
+    actually reaches the environment and nothing may ever hear it, the
+    broadcast is deaf after all and the pass fires anyway.
     """
+
+    def flow_confirms_deaf(path: Path) -> bool:
+        # Lazy import: repro.lint must stay importable without the flow
+        # layer (and without triggering its registration order).
+        from ..flow.analysis import flow_analysis
+        analysis = flow_analysis(term, mode="open")
+        if analysis.incomplete:
+            return False
+        for info in analysis.restrictions:
+            if info.path == path:
+                return not info.extruded and not info.may_be_heard
+        return False
 
     def walk(q: Process, path: Path) -> Iterator[tuple[Path, str]]:
         if isinstance(q, Restrict):
             acc = _DeafScan()
             _scan_restricted(q.body, q.name, path + (0,), acc)
-            if acc.outputs and not acc.heard and not acc.escapes:
-                for opath in acc.outputs:
-                    yield opath, (
-                        f"deaf broadcast: output on restricted channel "
-                        f"{q.name!r} can never be heard (no listener in "
-                        f"scope and the name never escapes); the noisy "
-                        f"semantics lets it fire silently")
+            if acc.outputs and not acc.heard:
+                if not acc.escapes:
+                    for opath in acc.outputs:
+                        yield opath, (
+                            f"deaf broadcast: output on restricted channel "
+                            f"{q.name!r} can never be heard (no listener in "
+                            f"scope and the name never escapes); the noisy "
+                            f"semantics lets it fire silently")
+                elif flow_confirms_deaf(path):
+                    for opath in acc.outputs:
+                        yield opath, (
+                            f"deaf broadcast: output on restricted channel "
+                            f"{q.name!r} can never be heard (the name "
+                            f"appears to escape, but the flow analysis "
+                            f"proves it is never extruded and nothing may "
+                            f"listen); the noisy semantics lets it fire "
+                            f"silently")
         for i, c in _indexed_children(q):
             yield from walk(c, path + (i,))
 

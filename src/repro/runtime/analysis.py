@@ -181,18 +181,36 @@ def invariant_holds(p: Process, predicate: Predicate, *,
                     budget: Budget | Meter | None = None,
                     collapse: bool = True, max_states: int | None = None,
                     witness: list | None = None,
-                    workers: int = 0) -> Verdict:
+                    workers: int = 0,
+                    calculus: str | CalculusBackend | None = None,
+                    presolve: bool = True) -> Verdict:
     """Does *predicate* hold in every reachable state?
 
     ``FALSE`` carries the violating state as evidence (and appends it to
     *witness* when given); ``TRUE`` needs the complete bounded graph, so a
     budget trip yields ``UNKNOWN`` with the states explored so far.
+
+    When *predicate* is the recognisable :class:`~repro.flow.NoBarb`
+    shape (and ``presolve`` is left on), the flow abstraction is tried
+    first: a proof that the channel is inert yields a definite ``TRUE``
+    with zero states explored (``stats["presolve"] == "flow"``) and the
+    :class:`~repro.flow.FlowEvidence` as evidence.  The abstraction
+    over-approximates reachability, so it can only ever *strengthen* the
+    TRUE side — violations always come from explored states.
     """
+    if presolve:
+        from ..flow.presolve import flow_proves_invariant
+        flow_evidence = flow_proves_invariant(p, predicate,
+                                              calculus=calculus)
+        if flow_evidence is not None:
+            return Verdict.of(True,
+                              stats={"states": 0, "presolve": "flow"},
+                              evidence=flow_evidence)
     budget = legacy_cap("invariant_holds", budget, max_states=max_states)
     meter = resolve_meter(budget, DEFAULT_BUDGET)
     try:
         for s in reachable_states(p, budget=meter, collapse=collapse,
-                                  workers=workers):
+                                  workers=workers, calculus=calculus):
             if not predicate(s):
                 if witness is not None:
                     witness.append(s)

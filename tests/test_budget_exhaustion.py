@@ -63,9 +63,11 @@ class TestDeadlineMidRefinement:
         # search is big enough to reach a poll point (POLL_INTERVAL
         # charges): 7 parallel outputs make a 128-state graph.
         from repro.core.reduction import can_reach_barb
+        # presolve=False: the flow pre-solver would refute 'zz' in
+        # O(term), and this test is about the explorer's poll points
         big = parse(" | ".join(f"a{i}!" for i in range(7)))
         budget = Budget(deadline=1.0, clock=SteppingClock(dt=10.0))
-        v = can_reach_barb(big, "zz", budget=budget)
+        v = can_reach_barb(big, "zz", budget=budget, presolve=False)
         assert v.is_unknown and v.reason == "deadline"
 
 
@@ -128,7 +130,8 @@ class TestGracefulDegradation:
             assert v1.is_true
             spent = meter.states
             assert spent > 0
-            v2 = can_reach_barb(parse("rec X(). tau.(a! | X)"), "zz")
+            v2 = can_reach_barb(parse("rec X(). tau.(a! | X)"), "zz",
+                                presolve=False)
             assert v2.is_unknown  # the pool, not a fresh 30, governed it
         assert meter.tripped == "max-states"
 
@@ -161,7 +164,11 @@ def test_budget_monotonicity_labelled(strategy, p, q, cap):
 # since on-the-fly charges a subset of what the global strategy charges
 # (pairs instead of states, closures merging the frontier), it must never
 # be the one that goes UNKNOWN when the global oracle is definite under
-# the same max-states pool.
+# the same max-states pool.  The subset argument is *strong-only*: weak
+# checkers additionally charge LazyReach saturation per visited state,
+# so at a tight cap the pair game can trip where the global graph fits
+# (e.g. 0 vs tau.tau.0 at max_states=4: 3 states globally, but 2 pairs
+# + 3 saturated states on the fly).
 
 @settings(max_examples=40, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
@@ -189,7 +196,7 @@ def test_strategy_agreement_step(p, q, cap, weak):
                             strategy="global")
     if v_fly.is_definite and v_glob.is_definite:
         assert v_fly.truth == v_glob.truth
-    if v_glob.is_definite:
+    if v_glob.is_definite and not weak:
         assert v_fly.is_definite
 
 
@@ -206,7 +213,7 @@ def test_strategy_agreement_barbed(p, q, cap, weak):
                               strategy="global")
     if v_fly.is_definite and v_glob.is_definite:
         assert v_fly.truth == v_glob.truth
-    if v_glob.is_definite:
+    if v_glob.is_definite and not weak:
         assert v_fly.is_definite
 
 

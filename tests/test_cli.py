@@ -97,9 +97,18 @@ class TestCliLint:
         assert "^" in out          # caret excerpt rendered
         assert "1 warning" in out
 
-    def test_parse_failure_exits_2(self, capsys):
-        assert main(["lint", "nu x ("]) == 2
-        assert "parse error" in capsys.readouterr().err
+    @pytest.mark.parametrize("subcommand", ["lint", "flow"])
+    def test_parse_failure_exits_2_with_caret(self, capsys, subcommand):
+        # lint and flow share the CLI's parse-error contract: message plus
+        # caret excerpt on stderr, exit status 2
+        assert main([subcommand, "a! +"]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "line 1, column 5" in err
+        assert "a! +" in err
+        caret_line = err.splitlines()[-1]
+        assert caret_line.strip() == "^"
+        assert caret_line.index("^") == 2 + 4
 
     def test_select_and_ignore(self, capsys):
         assert main(["lint", "nu x x!", "--select", "BP1"]) == 0
@@ -115,7 +124,8 @@ class TestCliLint:
         assert diag["severity"] == "error"
         assert diag["line"] == 1 and diag["excerpt"] == "X"
         assert set(payload["timings"]) == {
-            "BP101", "BP102", "BP201", "BP202", "BP301", "BP302"}
+            "BP101", "BP102", "BP201", "BP202", "BP301", "BP302",
+            "BP401", "BP402", "BP403", "BP404"}
 
     def test_corpus_is_clean(self, capsys):
         assert main(["lint", "--corpus"]) == 0
@@ -127,6 +137,61 @@ class TestCliLint:
 
     def test_missing_term_exits_2(self, capsys):
         assert main(["lint"]) == 2
+
+
+class TestCliFlow:
+    def test_capability_table_exits_0(self, capsys):
+        assert main(["flow", "a<v> | a(x).x!"]) == 0
+        out = capsys.readouterr().out
+        assert "channel" in out and "broadcast" in out
+        # mobility: x! may fire on v, so v gets a may-broadcast row
+        assert any(line.startswith("v") and "yes" in line
+                   for line in out.splitlines())
+
+    def test_barb_proven_inert_exits_1(self, capsys):
+        assert main(["flow", "nu x x!.0 | b!", "--closed",
+                     "--barb", "a"]) == 1
+        out = capsys.readouterr().out
+        assert "proven inert" in out and "0 states explored" in out
+
+    def test_barb_not_refutable_exits_0(self, capsys):
+        assert main(["flow", "a!", "--closed", "--barb", "a"]) == 0
+        assert "may be reachable" in capsys.readouterr().out
+
+    def test_json_format_capabilities(self, capsys):
+        assert main(["flow", "a<v> | a(x).x!", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["channels"]["a"]["may_broadcast"] is True
+        assert "v" in payload["channels"]["a"]["may_carry"]
+
+    def test_json_format_barb_refutation(self, capsys):
+        assert main(["flow", "nu x x!.0 | b!", "--closed",
+                     "--barb", "a", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"channel": "a", "refuted": True,
+                           "evidence": payload["evidence"]}
+        assert payload["evidence"]["kind"] == "barb-unreachable"
+
+    def test_corpus_exits_0(self, capsys):
+        assert main(["flow", "--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "free channels" in out
+
+    def test_corpus_rejects_positional_term(self, capsys):
+        assert main(["flow", "--corpus", "a!"]) == 2
+
+    def test_missing_term_exits_2(self, capsys):
+        assert main(["flow"]) == 2
+
+    def test_barb_presolve_vs_no_presolve(self, capsys):
+        # the pre-solver answers without exploring; --no-presolve forces
+        # the explorer down the same (slower) path to the same verdict
+        assert main(["barb", "nu x x!.0 | b!", "a"]) == 1
+        fast = capsys.readouterr().out
+        assert "not reachable (flow pre-solver, 0 states explored)" in fast
+        assert main(["barb", "nu x x!.0 | b!", "a", "--no-presolve"]) == 1
+        slow = capsys.readouterr().out
+        assert "not reachable" in slow and "pre-solver" not in slow
 
 
 class TestCliStore:

@@ -323,3 +323,92 @@ def test_registry_is_not_exempt():
     src = "from ..core.semantics import step_transitions"
     assert rule_e_codes(src, "src/repro/calculi/registry.py") == \
         ["direct-semantics"]
+
+
+# -- Rule F: flow presolver results stay one-sided --------------------------
+
+def flow_codes(src: str, path: str = "src/repro/core/reduction.py"
+               ) -> list[str]:
+    return [v.rule for v in cc.check_source(src, path)]
+
+
+def test_flow_module_referencing_verdict_is_flagged():
+    src = "from ..engine.verdict import Verdict\n" \
+          "def f():\n    return Verdict.of(False)\n"
+    found = flow_codes(src, "src/repro/flow/presolve.py")
+    assert "flow-verdict" in found
+    assert "flow-presolve" not in found  # parts b/c don't apply in flow/
+
+
+def test_flow_module_attribute_verdict_is_flagged():
+    src = "import repro\ndef f():\n    return repro.engine.Verdict\n"
+    assert "flow-verdict" in flow_codes(src, "src/repro/flow/analysis.py")
+
+
+def test_presolver_call_outside_verdict_fn_is_flagged():
+    assert flow_codes("""
+def quick_check(p, chan) -> bool:
+    return flow_refutes_barb(p, chan) is not None
+""") == ["flow-presolve"]
+
+
+def test_presolver_call_at_module_level_is_flagged():
+    assert flow_codes("ANSWER = flow_refutes_barb(P, 'a')\n") == \
+        ["flow-presolve"]
+
+
+def test_presolver_inside_verdict_fn_is_clean():
+    assert flow_codes("""
+def can_reach_barb(p, chan) -> Verdict:
+    ev = flow_refutes_barb(p, chan)
+    if ev is not None:
+        return Verdict.of(False, evidence=ev)
+    return Verdict.of(True)
+""") == []
+
+
+def test_refuter_feeding_true_verdict_is_flagged():
+    # the cardinal sin: flow evidence claiming reachability
+    assert flow_codes("""
+def can_reach_barb(p, chan) -> Verdict:
+    ev = flow_refutes_barb(p, chan)
+    if ev is not None:
+        return Verdict.of(True, evidence=ev)
+    return Verdict.of(False)
+""") == ["flow-polarity"]
+
+
+def test_prover_feeding_false_verdict_is_flagged():
+    assert flow_codes("""
+def invariant_holds(p, pred) -> Verdict:
+    ev = flow_proves_invariant(p, pred)
+    if ev is not None:
+        return Verdict.of(False, evidence=ev)
+    return Verdict.of(True)
+""") == ["flow-polarity"]
+
+
+def test_prover_feeding_true_verdict_is_clean():
+    assert flow_codes("""
+def invariant_holds(p, pred) -> Verdict:
+    ev = flow_proves_invariant(p, pred)
+    if ev is not None:
+        return Verdict.of(True, stats={"states": 0}, evidence=ev)
+    return Verdict.of(False)
+""") == []
+
+
+def test_inline_presolver_call_in_wrong_polarity_is_flagged():
+    found = flow_codes("""
+def can_reach_barb(p, chan) -> Verdict:
+    return Verdict.of(True, evidence=flow_refutes_barb(p, chan))
+""")
+    assert "flow-polarity" in found
+
+
+def test_live_flow_package_is_verdict_free():
+    flow_dir = REPO / "src" / "repro" / "flow"
+    files = cc.iter_files([flow_dir])
+    assert files, "expected python files under src/repro/flow"
+    violations = [v for f in files for v in cc.check_file(f)]
+    assert violations == [], "\n".join(map(str, violations))

@@ -41,14 +41,19 @@ WITNESSES = {
     "BP202": "nu a nu b [a=b]{c!}{d!}",
     "BP301": "rec X(). tau.X",
     "BP302": "nu x nu x x!.a<x>",
+    "BP401": "nu x x?.a!",
+    "BP402": "nu c nu x (c<x> | c(y).y!)",
+    "BP403": "nu t [t=b]{0}{e!}",
+    "BP404": "nu c (c<v> | c(x).[x=w]{ok!}{done!})",
 }
 
 
 # -- registry ---------------------------------------------------------------
 
-def test_registry_has_the_six_documented_passes():
+def test_registry_has_the_ten_documented_passes():
     assert sorted(PASS_REGISTRY) == [
-        "BP101", "BP102", "BP201", "BP202", "BP301", "BP302"]
+        "BP101", "BP102", "BP201", "BP202", "BP301", "BP302",
+        "BP401", "BP402", "BP403", "BP404"]
     assert {p.severity for p in PASS_REGISTRY.values()} == {
         "error", "warning", "info"}
 
@@ -56,7 +61,8 @@ def test_registry_has_the_six_documented_passes():
 def test_selected_passes_prefix_semantics():
     assert [p.code for p in selected_passes("BP1")] == ["BP101", "BP102"]
     assert [p.code for p in selected_passes(None, "BP3")] == [
-        "BP101", "BP102", "BP201", "BP202"]
+        "BP101", "BP102", "BP201", "BP202",
+        "BP401", "BP402", "BP403", "BP404"]
     # ignore wins over select
     assert [p.code for p in selected_passes("BP2", "BP201")] == ["BP202"]
     assert [p.code for p in selected_passes(["BP101", "BP30"])] == [
@@ -100,15 +106,42 @@ def test_dead_else_branch_variant():
     "a! | a? | b(y).y!",          # consistently sorted
     "nu x (x! | x?.a!)",          # restricted but heard: no BP201
     "nu x a<x>.x!",               # escapes as payload: listener may appear
-    "nu a [a=b]{c!}{d!}",         # only one side restricted: may match
     "a(x).[x=x]{b!}",             # nil else: nothing dead to report
-    "nu x x?.a!",                 # discard-input on x counts as a listener
     "a(x).a(x).x!",               # re-receive into same param: idiomatic
     "rec X(c := up). c?.(x! | X<c>)",   # rec param shadows nothing
+    # flow boundary: a live match on a received private token is not inert
+    "nu c nu t (c<t> | c(x).[x=t]{ok!}{0})",
 ])
 def test_clean_terms_stay_clean(source):
     report = lint(source)
     assert report.ok, report.format_text()
+
+
+# -- the flow family sees past the syntactic passes' boundary ---------------
+
+@pytest.mark.parametrize("source,old_code,flow_code", [
+    # a discard-input on a private channel nobody sends on: BP201 only
+    # looks at outputs, the flow family flags the orphan listener
+    ("nu x x?.a!", "BP201", "BP401"),
+    # one restricted operand: BP202 needs both sides nu-bound, but no
+    # value that may flow into the match can ever equal the private a
+    ("nu a [a=b]{c!}{d!}", "BP202", "BP404"),
+])
+def test_flow_pass_fires_where_syntactic_pass_cannot(source, old_code,
+                                                     flow_code):
+    report = lint(source)
+    assert set(report.counts()) == {flow_code}, report.format_text()
+    assert lint(source, select=old_code).ok  # the syntactic pass is silent
+
+
+def test_bp201_strengthened_by_flow():
+    # x escapes syntactically (match operand), so the classic escape
+    # analysis gives up — the flow analysis proves it never extrudes and
+    # nothing may listen, and BP201 fires with the flow-backed message
+    report = lint("nu x ([x=b]{0}{0} | x!.0)")
+    assert set(report.counts()) == {"BP201"}, report.format_text()
+    (d,) = [d for d in report.diagnostics if d.code == "BP201"]
+    assert "flow analysis proves" in d.message
 
 
 # -- locations: spans and occurrence paths ----------------------------------

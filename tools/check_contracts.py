@@ -54,6 +54,21 @@ Rule E (``direct-semantics``)
     ``repro.calculi.registry``, so the lossy and wireless semantics
     stay pluggable instead of being silently bypassed.
 
+Rule F (``flow-*``)
+    The flow pre-solver (``flow/presolve.py``) is a *may*-analysis: it
+    can prove a barb unreachable or an invariant true, never the
+    reverse.  Three sub-checks keep that one-sidedness structural:
+    (``flow-verdict``) modules under ``flow/`` never reference
+    ``Verdict`` — the abstraction returns typed ``FlowEvidence`` and the
+    verdict layer decides; (``flow-presolve``) calls to the presolvers
+    (:data:`FLOW_PRESOLVERS`) outside ``flow/`` appear only inside
+    ``-> Verdict`` functions, so flow answers always surface through the
+    three-valued API; (``flow-polarity``) a refuter's result never feeds
+    ``Verdict.of(True, ...)`` and the prover's never feeds
+    ``Verdict.of(False, ...)`` — flow evidence may only ever strengthen
+    the definite-FALSE-reachable / definite-TRUE-invariant side, never
+    fabricate reachability.
+
 Run ``python tools/check_contracts.py`` (CI does); exit status 1 when a
 violation is found.  ``tests/test_contracts.py`` feeds the checker both
 the live tree and synthetic offenders.
@@ -123,6 +138,19 @@ SEMANTIC_NAMES = frozenset({
 #: File names under ``calculi/`` allowed to import the kernel directly:
 #: the backend implementations that *wrap* it.
 SEMANTIC_IMPORTERS = frozenset({"backend.py", "lossy.py", "wireless.py"})
+
+#: Flow pre-solver entry points (Rule F): one-sided provers whose
+#: results may only surface through the verdict layer.
+FLOW_PRESOLVERS = frozenset({"flow_refutes_barb", "flow_proves_invariant"})
+
+#: The only ``Verdict.of(<bool>, ...)`` polarity each presolver's result
+#: may feed: the barb refuter proves FALSE-reachable, the invariant
+#: prover proves TRUE-invariant.  The opposite direction would let the
+#: abstraction fabricate reachability / refute an invariant it cannot see.
+FLOW_POLARITY: dict[str, bool] = {
+    "flow_refutes_barb": False,
+    "flow_proves_invariant": True,
+}
 
 
 @dataclass(frozen=True)
@@ -283,6 +311,7 @@ def check_source(source: str, path: str = "<string>") -> list[Violation]:
     _check_workers(tree, path, violations)
     _check_wire_workers(tree, path, violations)
     _check_semantic_imports(tree, path, violations)
+    _check_flow_rules(tree, path, violations)
     return violations
 
 
@@ -380,6 +409,91 @@ def _check_wire_workers(tree: ast.Module, path: str,
                     f"run below the verdict layer and must report a "
                     f"tripped slice as data, never raise or catch it "
                     f"across the futures boundary"))
+
+
+def _check_flow_scope(nodes: list[ast.stmt], owner: str, is_verdict: bool,
+                      path: str, violations: list[Violation]) -> None:
+    """Rule F parts b/c for one scope (module body or function body)."""
+    own = _walk_same_scope(nodes)
+    # Names bound to a presolver's result in this scope, best effort —
+    # `ev = flow_refutes_barb(...)` and `ev := flow_refutes_barb(...)`.
+    bound: dict[str, str] = {}
+    for node in own:
+        value = getattr(node, "value", None)
+        if not (isinstance(value, ast.Call)
+                and _call_name(value) in FLOW_PRESOLVERS):
+            continue
+        callee = _call_name(value)
+        assert callee is not None
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    bound[t.id] = callee
+        elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                bound[target.id] = callee
+    for node in own:
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _call_name(node)
+        if callee in FLOW_PRESOLVERS and not is_verdict:
+            violations.append(Violation(
+                path, node.lineno, "flow-presolve",
+                f"`{owner}` calls flow presolver `{callee}` but is not "
+                f"annotated `-> Verdict`; flow answers must surface "
+                f"through the three-valued verdict layer"))
+        if _is_verdict_call(node) and node.func.attr == "of":  # type: ignore[union-attr]
+            head = node.args[0] if node.args else None
+            if not (isinstance(head, ast.Constant)
+                    and isinstance(head.value, bool)):
+                continue
+            truth = head.value
+            for sub in ast.walk(node):
+                source: str | None = None
+                if isinstance(sub, ast.Name) and sub.id in bound:
+                    source = bound[sub.id]
+                elif (isinstance(sub, ast.Call)
+                      and _call_name(sub) in FLOW_PRESOLVERS):
+                    source = _call_name(sub)
+                if source is not None and truth != FLOW_POLARITY[source]:
+                    side = ("claim reachability"
+                            if source == "flow_refutes_barb"
+                            else "refute an invariant")
+                    violations.append(Violation(
+                        path, sub.lineno, "flow-polarity",
+                        f"result of `{source}` feeds "
+                        f"`Verdict.of({truth}, ...)`: the abstraction "
+                        f"over-approximates and must never {side}"))
+
+
+def _check_flow_rules(tree: ast.Module, path: str,
+                      violations: list[Violation]) -> None:
+    """Rule F: flow results only surface one-sidedly via the verdict layer."""
+    if "flow" in Path(path).parts[:-1]:
+        # Part a: the abstraction package never touches Verdict at all.
+        for node in ast.walk(tree):
+            name = None
+            if isinstance(node, ast.Name) and node.id == "Verdict":
+                name = "Verdict"
+            elif isinstance(node, ast.Attribute) and node.attr == "Verdict":
+                name = "Verdict"
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name.split(".")[-1] == "Verdict":
+                        name = alias.name
+            if name is not None:
+                violations.append(Violation(
+                    path, node.lineno, "flow-verdict",
+                    f"flow module references `{name}`: the abstraction "
+                    f"returns FlowEvidence (or None) and the verdict "
+                    f"layer alone decides"))
+        return
+    _check_flow_scope(tree.body, "<module>", False, path, violations)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_flow_scope(node.body, node.name, _returns_verdict(node),
+                              path, violations)
 
 
 def check_file(path: Path) -> list[Violation]:
